@@ -1,0 +1,222 @@
+// bess-bench runs the experiment harness (E1–E10 from DESIGN.md §4)
+// outside `go test` and prints one table per experiment — the rows recorded
+// in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	bess-bench [-only E5] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"bess/internal/bench"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	quick := flag.Bool("quick", false, "smaller parameters (CI-sized)")
+	flag.Parse()
+
+	want := func(id string) bool {
+		return *only == "" || strings.EqualFold(*only, id)
+	}
+
+	if want("E1") {
+		e1(*quick)
+	}
+	if want("E2") {
+		e2(*quick)
+	}
+	if want("E3") {
+		e3(*quick)
+	}
+	if want("E4") {
+		e4(*quick)
+	}
+	if want("E5") {
+		e5(*quick)
+	}
+	if want("E6") {
+		e6(*quick)
+	}
+	if want("E7") {
+		e7()
+	}
+	if want("E8") {
+		e8(*quick)
+	}
+	if want("E9") {
+		e9(*quick)
+	}
+	if want("E10") {
+		e10(*quick)
+	}
+}
+
+func header(id, title string) {
+	fmt.Printf("\n== %s: %s ==\n", id, title)
+}
+
+// timeIt returns ns/op for n runs of f.
+func timeIt(n int, f func()) float64 {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		f()
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(n)
+}
+
+func e1(quick bool) {
+	header("E1", "pointer dereference — swizzled refs vs OIDs (§2.1, §5)")
+	n := 50
+	if quick {
+		n = 10
+	}
+	env := bench.SetupE1(1024)
+	defer env.Close()
+	hops := 64
+	swz := timeIt(n, func() { env.ChaseBeSS(hops) }) / float64(hops)
+	oidp := timeIt(n, func() { env.ChaseGlobal(hops) }) / float64(hops)
+	raw := timeIt(n, func() { env.ChaseOID(hops) }) / float64(hops)
+	fmt.Printf("%-24s %10.0f ns/deref\n", "bess swizzled ref", swz)
+	fmt.Printf("%-24s %10.0f ns/deref   (%.1fx slower)\n", "eos-style oid", oidp, oidp/swz)
+	fmt.Printf("%-24s %10.0f ns/deref   (no storage manager: floor)\n", "raw hashmap", raw)
+}
+
+func e2(quick bool) {
+	header("E2", "operation modes — in-place vs copy-on-access (§4.1)")
+	reps := 200
+	if quick {
+		reps = 20
+	}
+	env := bench.SetupE2(64)
+	defer env.Close()
+	fmt.Printf("%-6s %18s %18s %8s\n", "k", "shared-mem ns/tx", "copy ns/tx", "ratio")
+	for _, k := range []int{1, 4, 16, 64} {
+		s := timeIt(reps, func() { env.ShortTxShared(k) })
+		c := timeIt(reps, func() { env.ShortTxCopy(k) })
+		fmt.Printf("%-6d %18.0f %18.0f %8.1fx\n", k, s, c, c/s)
+	}
+}
+
+func e3(quick bool) {
+	header("E3", "address-space reservation — lazy waves vs eager (§2.1)")
+	segs := 200
+	if quick {
+		segs = 50
+	}
+	fmt.Printf("%-10s %12s %12s %12s %10s\n", "fraction", "lazy-resv", "lazy-mapped", "eager-resv", "fetches")
+	for _, f := range []float64{0.05, 0.25, 0.5, 1.0} {
+		r := bench.RunE3(segs, f)
+		fmt.Printf("%-10.2f %12d %12d %12d %10d\n",
+			f, r.LazyReserved, r.LazyMapped, r.EagerReserved, r.SlottedFetches)
+	}
+}
+
+func e4(quick bool) {
+	header("E4", "replacement — two-level clock vs LRU (§4.2)")
+	accesses := 20000
+	if quick {
+		accesses = 4000
+	}
+	fmt.Printf("%-8s %-8s %12s %12s\n", "slots", "procs", "clock-hit%", "lru-hit%")
+	for _, procs := range []int{1, 4} {
+		for _, slots := range []int{32, 64, 128} {
+			r := bench.RunE4(256, slots, procs, accesses, 42)
+			fmt.Printf("%-8d %-8d %12.1f %12.1f\n", slots, procs, r.ClockHitRatio*100, r.LRUHitRatio*100)
+		}
+	}
+}
+
+func e5(quick bool) {
+	header("E5", "large-object byte ranges — tree vs whole rewrite (§2.1, [3,4])")
+	sizes := []int64{1 << 20, 8 << 20, 32 << 20}
+	if quick {
+		sizes = []int64{1 << 20, 4 << 20}
+	}
+	fmt.Printf("%-10s %14s %16s %8s\n", "size", "tree writes", "rewrite writes", "ratio")
+	for _, sz := range sizes {
+		r := bench.RunE5(sz, 4096)
+		fmt.Printf("%-10s %14d %16d %8.0fx\n",
+			fmt.Sprintf("%dMB", sz>>20), r.TreeWrites, r.RewriteIOs,
+			float64(r.RewriteIOs)/float64(r.TreeWrites))
+	}
+}
+
+func e6(quick bool) {
+	header("E6", "inter-transaction caching + callback locking (§3)")
+	txns := 20
+	if quick {
+		txns = 5
+	}
+	fmt.Printf("%-8s %16s %16s %8s\n", "segs/tx", "msgs/tx cached", "msgs/tx nocache", "saving")
+	for _, k := range []int{1, 8, 32} {
+		r := bench.RunE6(txns, k)
+		fmt.Printf("%-8d %16.1f %16.1f %7.1fx\n",
+			k, r.MsgsPerTxCached, r.MsgsPerTxNoCache, r.MsgsPerTxNoCache/r.MsgsPerTxCached)
+	}
+}
+
+func e7() {
+	header("E7", "update detection — protection faults vs software dirty calls (§2.2–2.3)")
+	fmt.Printf("%-14s %10s %12s %14s\n", "reads/writes", "hw-faults", "hw-protects", "sw-lock-reqs")
+	for _, w := range []int{0, 8, 64} {
+		r := bench.RunE7(64, w)
+		fmt.Printf("%2d / %-9d %10d %12d %14d\n", 64, w, r.HWFaults, r.HWProtectCalls, r.SWLockRequests)
+	}
+}
+
+func e8(quick bool) {
+	header("E8", "ARIES restart vs log volume (§3, [21])")
+	sets := []int{50, 500}
+	if quick {
+		sets = []int{50}
+	}
+	fmt.Printf("%-8s %-6s %10s %8s %8s %8s\n", "txns", "ckpt", "analyzed", "redo", "undo", "losers")
+	for _, txns := range sets {
+		for _, ck := range []bool{false, true} {
+			r := bench.RunE8(txns, 10, ck)
+			fmt.Printf("%-8d %-6v %10d %8d %8d %8d\n",
+				txns, ck, r.RecordsAnalyzed, r.RedoApplied, r.UndoApplied, r.Losers)
+		}
+	}
+}
+
+func e9(quick bool) {
+	header("E9", "multifile parallel scan (§2)")
+	objs := 2000
+	if quick {
+		objs = 400
+	}
+	env := bench.SetupE9(objs, 4)
+	defer env.Close()
+	base := 0.0
+	fmt.Printf("%-8s %14s %10s\n", "workers", "ns/scan", "speedup")
+	for _, w := range []int{1, 2, 4, 8} {
+		ns := timeIt(3, func() {
+			if n := env.Scan(w); n != env.N {
+				panic("scan incomplete")
+			}
+		})
+		if w == 1 {
+			base = ns
+		}
+		fmt.Printf("%-8d %14.0f %9.1fx\n", w, ns, base/ns)
+	}
+}
+
+func e10(quick bool) {
+	header("E10", "binary buddy allocation (§2, [3])")
+	ops := 50000
+	if quick {
+		ops = 5000
+	}
+	r := bench.RunE10(ops, 16, 7)
+	fmt.Printf("ops=%d utilization=%.1f%% splits/op=%.3f coalesces/op=%.3f failures=%d\n",
+		r.Ops, r.Utilization*100, float64(r.Splits)/float64(r.Ops),
+		float64(r.Coalesces)/float64(r.Ops), r.Failures)
+}

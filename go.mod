@@ -1,0 +1,3 @@
+module bess
+
+go 1.22

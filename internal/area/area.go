@@ -1,0 +1,526 @@
+// Package area implements BeSS storage areas (paper §2).
+//
+// At the physical level a database consists of storage areas, which are UNIX
+// files (or, here, in-memory buffers for tests). An area is partitioned into
+// extents of page.PerExtent pages; disk segments are allocated from an extent
+// with the binary buddy system, and file-backed areas expand one extent at a
+// time when full.
+//
+// On-disk layout:
+//
+//	page 0                      area header
+//	pages 1+e*PerExtent ...     extent e; its first page is the extent map
+//
+// The extent map records the live (offset, order) buddy allocations so the
+// allocator state survives restarts; it is written through on every
+// allocation change.
+package area
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"bess/internal/buddy"
+	"bess/internal/page"
+)
+
+// MaxSegmentPages is the largest segment one AllocSegment call can grant:
+// half an extent (the first buddy block of each extent is reserved for the
+// extent map, so a full-extent block never exists).
+const MaxSegmentPages = page.PerExtent / 2
+
+// Errors returned by the area layer.
+var (
+	ErrBadMagic    = errors.New("area: bad magic (not a BeSS storage area)")
+	ErrBadGeometry = errors.New("area: page geometry mismatch")
+	ErrOutOfRange  = errors.New("area: page out of range")
+	ErrTooLarge    = errors.New("area: segment larger than MaxSegmentPages")
+	ErrNoSpace     = errors.New("area: no space and area is not growable")
+	ErrNotSegment  = errors.New("area: page is not the start of a live segment")
+	ErrClosed      = errors.New("area: closed")
+)
+
+const (
+	headerMagic = 0xBE550A12
+	extentMagic = 0xBE55E271
+	version     = 1
+)
+
+// store abstracts the backing bytes of an area.
+type store interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Size() (int64, error)
+	Truncate(size int64) error
+	Sync() error
+	Close() error
+}
+
+// fileStore backs an area with an *os.File.
+type fileStore struct{ f *os.File }
+
+func (s fileStore) ReadAt(p []byte, off int64) (int, error)  { return s.f.ReadAt(p, off) }
+func (s fileStore) WriteAt(p []byte, off int64) (int, error) { return s.f.WriteAt(p, off) }
+func (s fileStore) Size() (int64, error) {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+func (s fileStore) Truncate(size int64) error { return s.f.Truncate(size) }
+func (s fileStore) Sync() error               { return s.f.Sync() }
+func (s fileStore) Close() error              { return s.f.Close() }
+
+// memStore backs an area with a growable byte slice.
+type memStore struct {
+	mu  sync.RWMutex
+	buf []byte
+}
+
+func (s *memStore) ReadAt(p []byte, off int64) (int, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if off >= int64(len(s.buf)) {
+		return 0, fmt.Errorf("memstore: read at %d beyond size %d", off, len(s.buf))
+	}
+	n := copy(p, s.buf[off:])
+	if n < len(p) {
+		return n, fmt.Errorf("memstore: short read")
+	}
+	return n, nil
+}
+
+func (s *memStore) WriteAt(p []byte, off int64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(s.buf)) {
+		grown := make([]byte, end)
+		copy(grown, s.buf)
+		s.buf = grown
+	}
+	copy(s.buf[off:end], p)
+	return len(p), nil
+}
+
+func (s *memStore) Size() (int64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return int64(len(s.buf)), nil
+}
+
+func (s *memStore) Truncate(size int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if size <= int64(len(s.buf)) {
+		s.buf = s.buf[:size]
+		return nil
+	}
+	grown := make([]byte, size)
+	copy(grown, s.buf)
+	s.buf = grown
+	return nil
+}
+
+func (s *memStore) Sync() error  { return nil }
+func (s *memStore) Close() error { return nil }
+
+// Area is one storage area: a paged file with buddy-allocated segments.
+// All methods are safe for concurrent use.
+type Area struct {
+	mu       sync.Mutex
+	st       store
+	id       page.AreaID
+	extents  []*buddy.Allocator // one per extent
+	growable bool
+	closed   bool
+
+	// Stats.
+	reads, writes, grows int64
+}
+
+// CreateFile creates a new file-backed area at path with initialExtents
+// extents (at least 1). The file must not already exist.
+func CreateFile(path string, id page.AreaID, initialExtents int) (*Area, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("area: create %s: %w", path, err)
+	}
+	a, err := initArea(fileStore{f}, id, initialExtents, true)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return a, nil
+}
+
+// OpenFile opens an existing file-backed area, rebuilding allocator state
+// from the persisted extent maps.
+func OpenFile(path string) (*Area, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, fmt.Errorf("area: open %s: %w", path, err)
+	}
+	a, err := loadArea(fileStore{f}, true)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// NewMem creates an in-memory area with the given number of extents.
+// Growable memory areas expand like file areas; non-growable ones model raw
+// disk partitions, whose size is fixed (paper §2).
+func NewMem(id page.AreaID, extents int, growable bool) (*Area, error) {
+	return initArea(&memStore{}, id, extents, growable)
+}
+
+func initArea(st store, id page.AreaID, initialExtents int, growable bool) (*Area, error) {
+	if initialExtents < 1 {
+		initialExtents = 1
+	}
+	a := &Area{st: st, id: id, growable: growable}
+	if err := a.writeHeader(initialExtents); err != nil {
+		return nil, err
+	}
+	for e := 0; e < initialExtents; e++ {
+		if err := a.addExtentLocked(); err != nil {
+			return nil, err
+		}
+	}
+	// addExtentLocked rewrote the header per extent; make count authoritative.
+	if err := a.writeHeader(len(a.extents)); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func loadArea(st store, growable bool) (*Area, error) {
+	a := &Area{st: st, growable: growable}
+	hdr := make([]byte, page.Size)
+	if _, err := st.ReadAt(hdr, 0); err != nil {
+		return nil, fmt.Errorf("area: read header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:4]) != headerMagic {
+		return nil, ErrBadMagic
+	}
+	if binary.BigEndian.Uint16(hdr[4:6]) != version {
+		return nil, fmt.Errorf("area: unsupported version %d", binary.BigEndian.Uint16(hdr[4:6]))
+	}
+	a.id = page.AreaID(binary.BigEndian.Uint32(hdr[6:10]))
+	if binary.BigEndian.Uint32(hdr[10:14]) != page.Size ||
+		binary.BigEndian.Uint32(hdr[14:18]) != page.PerExtent {
+		return nil, ErrBadGeometry
+	}
+	n := int(binary.BigEndian.Uint32(hdr[18:22]))
+	for e := 0; e < n; e++ {
+		alloc, err := a.loadExtent(e)
+		if err != nil {
+			return nil, err
+		}
+		a.extents = append(a.extents, alloc)
+	}
+	return a, nil
+}
+
+func (a *Area) writeHeader(extents int) error {
+	hdr := make([]byte, page.Size)
+	binary.BigEndian.PutUint32(hdr[0:4], headerMagic)
+	binary.BigEndian.PutUint16(hdr[4:6], version)
+	binary.BigEndian.PutUint32(hdr[6:10], uint32(a.id))
+	binary.BigEndian.PutUint32(hdr[10:14], page.Size)
+	binary.BigEndian.PutUint32(hdr[14:18], page.PerExtent)
+	binary.BigEndian.PutUint32(hdr[18:22], uint32(extents))
+	_, err := a.st.WriteAt(hdr, 0)
+	return err
+}
+
+// extentOrder is log2(page.PerExtent).
+func extentOrder() int {
+	k, _ := buddy.OrderFor(page.PerExtent)
+	return k
+}
+
+// extentStart returns the absolute page number of extent e's first page.
+func extentStart(e int) page.No { return page.No(1 + e*page.PerExtent) }
+
+// addExtentLocked appends a fresh extent, reserving its map page.
+func (a *Area) addExtentLocked() error {
+	alloc, err := buddy.New(extentOrder())
+	if err != nil {
+		return err
+	}
+	// Reserve offset 0 for the extent map page.
+	if _, _, err := alloc.AllocOrder(0); err != nil {
+		return err
+	}
+	e := len(a.extents)
+	a.extents = append(a.extents, alloc)
+	// Extend the backing store to cover the new extent and persist its map.
+	end := int64(extentStart(e+1)-page.PerExtent) * page.Size // start of extent e
+	end += int64(page.PerExtent) * page.Size
+	if err := a.st.Truncate(end); err != nil {
+		a.extents = a.extents[:e]
+		return err
+	}
+	if err := a.persistExtent(e); err != nil {
+		a.extents = a.extents[:e]
+		return err
+	}
+	a.grows++
+	return a.writeHeader(len(a.extents))
+}
+
+// persistExtent writes extent e's allocation map to its map page.
+// The map records (offset, order) for every live allocation except the
+// reserved map page itself.
+func (a *Area) persistExtent(e int) error {
+	alloc := a.extents[e]
+	buf := make([]byte, page.Size)
+	binary.BigEndian.PutUint32(buf[0:4], extentMagic)
+	count := 0
+	pos := 8
+	for off := int64(1); off < int64(page.PerExtent); off++ {
+		if sz, ok := alloc.BlockSize(off); ok {
+			k, _ := buddy.OrderFor(sz)
+			buf[pos] = byte(off)
+			buf[pos+1] = byte(k)
+			pos += 2
+			count++
+		}
+	}
+	binary.BigEndian.PutUint16(buf[4:6], uint16(count))
+	_, err := a.st.WriteAt(buf, int64(extentStart(e))*page.Size)
+	return err
+}
+
+// loadExtent rebuilds extent e's allocator from its persisted map page.
+func (a *Area) loadExtent(e int) (*buddy.Allocator, error) {
+	buf := make([]byte, page.Size)
+	if _, err := a.st.ReadAt(buf, int64(extentStart(e))*page.Size); err != nil {
+		return nil, fmt.Errorf("area: read extent %d map: %w", e, err)
+	}
+	if binary.BigEndian.Uint32(buf[0:4]) != extentMagic {
+		return nil, fmt.Errorf("area: extent %d: %w", e, ErrBadMagic)
+	}
+	alloc, err := buddy.New(extentOrder())
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := alloc.AllocOrder(0); err != nil {
+		return nil, err
+	}
+	count := int(binary.BigEndian.Uint16(buf[4:6]))
+	pos := 8
+	for i := 0; i < count; i++ {
+		off := int64(buf[pos])
+		k := int(buf[pos+1])
+		pos += 2
+		if err := placeAt(alloc, off, k); err != nil {
+			return nil, fmt.Errorf("area: extent %d: rebuild alloc at %d order %d: %w", e, off, k, err)
+		}
+	}
+	return alloc, nil
+}
+
+// placeAt forces an allocation of order k at offset off by repeatedly
+// allocating blocks of that order until the desired one is produced, then
+// freeing the extras. The buddy allocator has at most PerExtent blocks, so
+// this terminates quickly; it only runs during recovery of an extent map.
+func placeAt(alloc *buddy.Allocator, off int64, k int) error {
+	var extras []int64
+	defer func() {
+		for _, x := range extras {
+			_ = alloc.Free(x)
+		}
+	}()
+	for {
+		got, _, err := alloc.AllocOrder(k)
+		if err != nil {
+			return err
+		}
+		if got == off {
+			return nil
+		}
+		extras = append(extras, got)
+	}
+}
+
+// ID returns the area's identifier.
+func (a *Area) ID() page.AreaID { return a.id }
+
+// Extents returns the current number of extents.
+func (a *Area) Extents() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.extents)
+}
+
+// Pages returns the total number of pages (header + extents).
+func (a *Area) Pages() page.No {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return extentStart(len(a.extents))
+}
+
+// Growable reports whether the area may expand by adding extents.
+func (a *Area) Growable() bool { return a.growable }
+
+// ReadPage reads page p into buf, which must be page.Size bytes.
+func (a *Area) ReadPage(p page.No, buf []byte) error {
+	if len(buf) != page.Size {
+		return fmt.Errorf("area: ReadPage buffer is %d bytes, want %d", len(buf), page.Size)
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrClosed
+	}
+	limit := extentStart(len(a.extents))
+	a.reads++
+	a.mu.Unlock()
+	if p < 0 || p >= limit {
+		return ErrOutOfRange
+	}
+	_, err := a.st.ReadAt(buf, int64(p)*page.Size)
+	return err
+}
+
+// WritePage writes data (page.Size bytes) to page p.
+func (a *Area) WritePage(p page.No, data []byte) error {
+	if len(data) != page.Size {
+		return fmt.Errorf("area: WritePage buffer is %d bytes, want %d", len(data), page.Size)
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrClosed
+	}
+	limit := extentStart(len(a.extents))
+	a.writes++
+	a.mu.Unlock()
+	if p < 0 || p >= limit {
+		return ErrOutOfRange
+	}
+	_, err := a.st.WriteAt(data, int64(p)*page.Size)
+	return err
+}
+
+// AllocSegment allocates a disk segment of at least nPages contiguous pages,
+// growing the area by one extent at a time if needed and permitted.
+// It returns the absolute start page and the granted page count.
+func (a *Area) AllocSegment(nPages int) (page.No, int, error) {
+	if nPages <= 0 {
+		return 0, 0, buddy.ErrBadRequest
+	}
+	if nPages > MaxSegmentPages {
+		return 0, 0, ErrTooLarge
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return 0, 0, ErrClosed
+	}
+	for {
+		for e, alloc := range a.extents {
+			off, granted, err := alloc.Alloc(int64(nPages))
+			if err == nil {
+				if err := a.persistExtent(e); err != nil {
+					_ = alloc.Free(off)
+					return 0, 0, err
+				}
+				return extentStart(e) + page.No(off), int(granted), nil
+			}
+		}
+		if !a.growable {
+			return 0, 0, ErrNoSpace
+		}
+		if err := a.addExtentLocked(); err != nil {
+			return 0, 0, err
+		}
+	}
+}
+
+// FreeSegment releases the segment starting at absolute page start.
+func (a *Area) FreeSegment(start page.No) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return ErrClosed
+	}
+	e, off, err := a.locate(start)
+	if err != nil {
+		return err
+	}
+	if err := a.extents[e].Free(off); err != nil {
+		return ErrNotSegment
+	}
+	return a.persistExtent(e)
+}
+
+// SegmentPages returns the granted size of the live segment at start.
+func (a *Area) SegmentPages(start page.No) (int, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e, off, err := a.locate(start)
+	if err != nil {
+		return 0, false
+	}
+	sz, ok := a.extents[e].BlockSize(off)
+	return int(sz), ok
+}
+
+func (a *Area) locate(p page.No) (extent int, offset int64, err error) {
+	if p < 1 {
+		return 0, 0, ErrOutOfRange
+	}
+	e := int((p - 1) / page.PerExtent)
+	if e >= len(a.extents) {
+		return 0, 0, ErrOutOfRange
+	}
+	return e, int64(p - extentStart(e)), nil
+}
+
+// Stats reports cumulative I/O counters: page reads, page writes, and
+// extent growths.
+func (a *Area) Stats() (reads, writes, grows int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.reads, a.writes, a.grows
+}
+
+// FreePages returns the number of allocatable pages currently free.
+func (a *Area) FreePages() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var n int64
+	for _, alloc := range a.extents {
+		n += alloc.FreeUnits()
+	}
+	return n
+}
+
+// Sync flushes the backing store.
+func (a *Area) Sync() error { return a.st.Sync() }
+
+// Close syncs and closes the area. Further operations fail with ErrClosed.
+func (a *Area) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	if err := a.st.Sync(); err != nil {
+		a.st.Close()
+		return err
+	}
+	return a.st.Close()
+}

@@ -1,0 +1,296 @@
+package area
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"bess/internal/page"
+)
+
+func TestMemCreateGeometry(t *testing.T) {
+	a, err := NewMem(7, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != 7 {
+		t.Fatalf("ID = %d", a.ID())
+	}
+	if a.Extents() != 2 {
+		t.Fatalf("Extents = %d, want 2", a.Extents())
+	}
+	if a.Pages() != page.No(1+2*page.PerExtent) {
+		t.Fatalf("Pages = %d", a.Pages())
+	}
+	if a.Growable() {
+		t.Fatal("non-growable area reports growable")
+	}
+}
+
+func TestReadWritePage(t *testing.T) {
+	a, _ := NewMem(1, 1, false)
+	start, granted, err := a.AllocSegment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted != 1 {
+		t.Fatalf("granted = %d", granted)
+	}
+	data := make([]byte, page.Size)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := a.WritePage(start, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, page.Size)
+	if err := a.ReadPage(start, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("page round trip mismatch")
+	}
+}
+
+func TestPageBufferSizeChecked(t *testing.T) {
+	a, _ := NewMem(1, 1, false)
+	if err := a.ReadPage(1, make([]byte, 10)); err == nil {
+		t.Fatal("short read buffer accepted")
+	}
+	if err := a.WritePage(1, make([]byte, 10)); err == nil {
+		t.Fatal("short write buffer accepted")
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	a, _ := NewMem(1, 1, false)
+	buf := make([]byte, page.Size)
+	if err := a.ReadPage(a.Pages(), buf); err != ErrOutOfRange {
+		t.Fatalf("read past end: %v", err)
+	}
+	if err := a.ReadPage(-1, buf); err != ErrOutOfRange {
+		t.Fatalf("read negative: %v", err)
+	}
+	if err := a.WritePage(a.Pages()+5, buf); err != ErrOutOfRange {
+		t.Fatalf("write past end: %v", err)
+	}
+}
+
+func TestAllocSegmentBounds(t *testing.T) {
+	a, _ := NewMem(1, 1, false)
+	if _, _, err := a.AllocSegment(0); err == nil {
+		t.Fatal("AllocSegment(0) accepted")
+	}
+	if _, _, err := a.AllocSegment(MaxSegmentPages + 1); err != ErrTooLarge {
+		t.Fatalf("oversized segment: %v", err)
+	}
+}
+
+func TestNonGrowableExhaustion(t *testing.T) {
+	a, _ := NewMem(1, 1, false)
+	for {
+		_, _, err := a.AllocSegment(MaxSegmentPages)
+		if err == ErrNoSpace {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGrowableExpands(t *testing.T) {
+	a, _ := NewMem(1, 1, true)
+	before := a.Extents()
+	var starts []page.No
+	for i := 0; i < 5; i++ {
+		s, _, err := a.AllocSegment(MaxSegmentPages)
+		if err != nil {
+			t.Fatal(err)
+		}
+		starts = append(starts, s)
+	}
+	if a.Extents() <= before {
+		t.Fatalf("area did not grow: extents %d -> %d", before, a.Extents())
+	}
+	seen := map[page.No]bool{}
+	for _, s := range starts {
+		if seen[s] {
+			t.Fatalf("duplicate segment start %d", s)
+		}
+		seen[s] = true
+	}
+	_, _, grows := a.Stats()
+	if grows < 2 {
+		t.Fatalf("grows = %d", grows)
+	}
+}
+
+func TestFreeSegment(t *testing.T) {
+	a, _ := NewMem(1, 1, false)
+	s, granted, err := a.AllocSegment(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := a.SegmentPages(s); !ok || n != granted {
+		t.Fatalf("SegmentPages = (%d,%v)", n, ok)
+	}
+	if err := a.FreeSegment(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.SegmentPages(s); ok {
+		t.Fatal("freed segment still live")
+	}
+	if err := a.FreeSegment(s); err != ErrNotSegment {
+		t.Fatalf("double free: %v", err)
+	}
+	if err := a.FreeSegment(0); err != ErrOutOfRange {
+		t.Fatalf("free header page: %v", err)
+	}
+}
+
+func TestFilePersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "area.bess")
+	a, err := CreateFile(path, 42, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type seg struct {
+		start page.No
+		n     int
+	}
+	var segs []seg
+	for i := 0; i < 10; i++ {
+		s, n, err := a.AllocSegment(1 + i%7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs = append(segs, seg{s, n})
+		data := make([]byte, page.Size)
+		data[0] = byte(i + 1)
+		if err := a.WritePage(s, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Free a couple so the persisted map has holes.
+	if err := a.FreeSegment(segs[3].start); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FreeSegment(segs[7].start); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.ID() != 42 {
+		t.Fatalf("reopened ID = %d", b.ID())
+	}
+	for i, sg := range segs {
+		n, ok := b.SegmentPages(sg.start)
+		if i == 3 || i == 7 {
+			if ok {
+				t.Fatalf("segment %d should be free after reopen", i)
+			}
+			continue
+		}
+		if !ok || n != sg.n {
+			t.Fatalf("segment %d: (%d,%v), want (%d,true)", i, n, ok, sg.n)
+		}
+		buf := make([]byte, page.Size)
+		if err := b.ReadPage(sg.start, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(i+1) {
+			t.Fatalf("segment %d data byte = %d", i, buf[0])
+		}
+	}
+	// New allocations must not overlap surviving segments.
+	s, n, err := b.AllocSegment(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sg := range segs {
+		if i == 3 || i == 7 {
+			continue
+		}
+		if s < sg.start+page.No(sg.n) && sg.start < s+page.No(n) {
+			t.Fatalf("new segment [%d,%d) overlaps old [%d,%d)", s, s+page.No(n), sg.start, sg.start+page.No(sg.n))
+		}
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bogus")
+	a, err := CreateFile(path, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	// Corrupt the magic.
+	b, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	f, _ := openRaw(path)
+	f.WriteAt([]byte{0, 0, 0, 0}, 0)
+	f.Close()
+	if _, err := OpenFile(path); err != ErrBadMagic {
+		t.Fatalf("corrupt open: %v", err)
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	a, _ := NewMem(1, 1, false)
+	a.Close()
+	buf := make([]byte, page.Size)
+	if err := a.ReadPage(1, buf); err != ErrClosed {
+		t.Fatalf("read after close: %v", err)
+	}
+	if _, _, err := a.AllocSegment(1); err != ErrClosed {
+		t.Fatalf("alloc after close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestRandomAllocFreeNoOverlapMem(t *testing.T) {
+	a, _ := NewMem(1, 2, true)
+	rng := rand.New(rand.NewSource(7))
+	type seg struct {
+		start page.No
+		n     int
+	}
+	var live []seg
+	for i := 0; i < 500; i++ {
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			j := rng.Intn(len(live))
+			if err := a.FreeSegment(live[j].start); err != nil {
+				t.Fatal(err)
+			}
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			continue
+		}
+		s, n, err := a.AllocSegment(1 + rng.Intn(32))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sg := range live {
+			if s < sg.start+page.No(sg.n) && sg.start < s+page.No(n) {
+				t.Fatalf("overlap: [%d,%d) vs [%d,%d)", s, s+page.No(n), sg.start, sg.start+page.No(sg.n))
+			}
+		}
+		live = append(live, seg{s, n})
+	}
+}

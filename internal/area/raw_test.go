@@ -1,0 +1,8 @@
+package area
+
+import "os"
+
+// openRaw opens a file read-write for test corruption helpers.
+func openRaw(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_RDWR, 0)
+}

@@ -1,0 +1,220 @@
+// Package buddy implements the binary buddy allocator BeSS uses to carve
+// disk segments out of storage-area extents (paper §2, reference [3]).
+//
+// An Allocator manages a contiguous region of 2^maxOrder units. Requests are
+// rounded up to the nearest power of two; blocks are recursively split on
+// allocation and buddies are coalesced on free. Offsets and sizes are in
+// abstract units (the storage area layer uses pages as the unit).
+package buddy
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// Common allocator errors.
+var (
+	ErrNoSpace    = errors.New("buddy: no free block large enough")
+	ErrBadFree    = errors.New("buddy: free of unallocated or mismatched block")
+	ErrBadRequest = errors.New("buddy: invalid request size")
+)
+
+// MaxOrder is the largest supported block order; a single allocator can
+// therefore manage up to 2^MaxOrder units.
+const MaxOrder = 40
+
+// Allocator is a binary buddy allocator over [0, Size()) units.
+// It is not safe for concurrent use; callers serialize access
+// (the storage area layer holds a latch while allocating).
+type Allocator struct {
+	maxOrder int
+	// free[k] holds the offsets of free blocks of size 2^k, as a set.
+	free []map[int64]struct{}
+	// alloc maps the offset of each live allocation to its order.
+	alloc map[int64]int
+
+	// Statistics, cumulative since creation.
+	splits    int64
+	coalesces int64
+	allocated int64 // units currently allocated
+}
+
+// New returns an allocator managing 2^maxOrder units, all initially free.
+func New(maxOrder int) (*Allocator, error) {
+	if maxOrder < 0 || maxOrder > MaxOrder {
+		return nil, fmt.Errorf("buddy: max order %d out of range [0,%d]", maxOrder, MaxOrder)
+	}
+	a := &Allocator{
+		maxOrder: maxOrder,
+		free:     make([]map[int64]struct{}, maxOrder+1),
+		alloc:    make(map[int64]int),
+	}
+	for k := range a.free {
+		a.free[k] = make(map[int64]struct{})
+	}
+	a.free[maxOrder][0] = struct{}{}
+	return a, nil
+}
+
+// Size returns the total number of units managed.
+func (a *Allocator) Size() int64 { return int64(1) << uint(a.maxOrder) }
+
+// Allocated returns the number of units currently allocated.
+func (a *Allocator) Allocated() int64 { return a.allocated }
+
+// Splits returns the cumulative number of block splits performed.
+func (a *Allocator) Splits() int64 { return a.splits }
+
+// Coalesces returns the cumulative number of buddy merges performed.
+func (a *Allocator) Coalesces() int64 { return a.coalesces }
+
+// OrderFor returns the smallest order k with 2^k >= n.
+func OrderFor(n int64) (int, error) {
+	if n <= 0 {
+		return 0, ErrBadRequest
+	}
+	k := bits.Len64(uint64(n) - 1)
+	if k > MaxOrder {
+		return 0, ErrBadRequest
+	}
+	return k, nil
+}
+
+// Alloc allocates a block of at least n units and returns its offset and the
+// actual (power-of-two) size granted.
+func (a *Allocator) Alloc(n int64) (off, granted int64, err error) {
+	k, err := OrderFor(n)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a.AllocOrder(k)
+}
+
+// AllocOrder allocates a block of exactly 2^k units.
+func (a *Allocator) AllocOrder(k int) (off, granted int64, err error) {
+	if k < 0 || k > a.maxOrder {
+		return 0, 0, ErrNoSpace
+	}
+	// Find the smallest order >= k with a free block.
+	j := k
+	for j <= a.maxOrder && len(a.free[j]) == 0 {
+		j++
+	}
+	if j > a.maxOrder {
+		return 0, 0, ErrNoSpace
+	}
+	off = a.popFree(j)
+	// Split down to the requested order, returning the upper halves to the
+	// free lists.
+	for j > k {
+		j--
+		a.splits++
+		buddy := off + (int64(1) << uint(j))
+		a.free[j][buddy] = struct{}{}
+	}
+	a.alloc[off] = k
+	granted = int64(1) << uint(k)
+	a.allocated += granted
+	return off, granted, nil
+}
+
+// Free releases the block previously returned by Alloc/AllocOrder at off.
+func (a *Allocator) Free(off int64) error {
+	k, ok := a.alloc[off]
+	if !ok {
+		return ErrBadFree
+	}
+	delete(a.alloc, off)
+	a.allocated -= int64(1) << uint(k)
+	// Coalesce with the buddy while it is free and we are below max order.
+	for k < a.maxOrder {
+		buddy := off ^ (int64(1) << uint(k))
+		if _, free := a.free[k][buddy]; !free {
+			break
+		}
+		delete(a.free[k], buddy)
+		if buddy < off {
+			off = buddy
+		}
+		k++
+		a.coalesces++
+	}
+	a.free[k][off] = struct{}{}
+	return nil
+}
+
+// BlockSize returns the granted size of the live allocation at off.
+func (a *Allocator) BlockSize(off int64) (int64, bool) {
+	k, ok := a.alloc[off]
+	if !ok {
+		return 0, false
+	}
+	return int64(1) << uint(k), true
+}
+
+// FreeUnits returns the number of units currently free.
+func (a *Allocator) FreeUnits() int64 { return a.Size() - a.allocated }
+
+// LargestFree returns the size of the largest currently free block
+// (0 when the allocator is completely full).
+func (a *Allocator) LargestFree() int64 {
+	for k := a.maxOrder; k >= 0; k-- {
+		if len(a.free[k]) > 0 {
+			return int64(1) << uint(k)
+		}
+	}
+	return 0
+}
+
+// Utilization returns allocated/total as a fraction in [0,1].
+func (a *Allocator) Utilization() float64 {
+	return float64(a.allocated) / float64(a.Size())
+}
+
+func (a *Allocator) popFree(k int) int64 {
+	for off := range a.free[k] {
+		delete(a.free[k], off)
+		return off
+	}
+	panic("buddy: popFree on empty order") // unreachable; caller checked
+}
+
+// CheckInvariants verifies internal consistency: free blocks and allocations
+// are disjoint, properly aligned, and together cover the whole region.
+// It is used by tests and by the inspect tool.
+func (a *Allocator) CheckInvariants() error {
+	covered := int64(0)
+	type span struct{ off, size int64 }
+	var spans []span
+	for k, set := range a.free {
+		size := int64(1) << uint(k)
+		for off := range set {
+			if off%size != 0 {
+				return fmt.Errorf("buddy: free block %d order %d misaligned", off, k)
+			}
+			spans = append(spans, span{off, size})
+			covered += size
+		}
+	}
+	for off, k := range a.alloc {
+		size := int64(1) << uint(k)
+		if off%size != 0 {
+			return fmt.Errorf("buddy: allocated block %d order %d misaligned", off, k)
+		}
+		spans = append(spans, span{off, size})
+		covered += size
+	}
+	if covered != a.Size() {
+		return fmt.Errorf("buddy: blocks cover %d of %d units", covered, a.Size())
+	}
+	// Overlap check via interval endpoints: since total coverage equals the
+	// region size and every block lies inside it, any overlap implies a gap
+	// elsewhere; verify bounds to complete the argument.
+	for _, s := range spans {
+		if s.off < 0 || s.off+s.size > a.Size() {
+			return fmt.Errorf("buddy: block [%d,%d) out of range", s.off, s.off+s.size)
+		}
+	}
+	return nil
+}

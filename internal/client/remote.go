@@ -1,0 +1,280 @@
+// Package client implements BeSS client sessions (paper §3–§4): the
+// copy-on-access operation mode over a private buffer pool, inter-
+// transaction caching of data with callback-based consistency, automatic
+// lock acquisition driven by update detection, and commit shipping to the
+// owning server.
+package client
+
+import (
+	"sync"
+
+	"bess/internal/oid"
+	"bess/internal/proto"
+	"bess/internal/rpc"
+)
+
+// Remote implements proto.Conn over an RPC peer; one per server connection.
+type Remote struct {
+	p *rpc.Peer
+
+	mu         sync.Mutex
+	onCallback func(proto.SegKey) bool // returns refused
+	calls      int64
+}
+
+// NewRemote wraps a connected peer. The "Callback" handler is registered
+// immediately so revocations arriving at any time are served; they are
+// refused until a session installs its policy.
+func NewRemote(p *rpc.Peer) *Remote {
+	r := &Remote{p: p}
+	rpc.HandleFunc(p, "Callback", func(a *proto.CallbackArgs) (*proto.CallbackReply, error) {
+		r.mu.Lock()
+		cb := r.onCallback
+		r.mu.Unlock()
+		if cb == nil {
+			return &proto.CallbackReply{Refused: true}, nil
+		}
+		return &proto.CallbackReply{Refused: cb(a.Seg)}, nil
+	})
+	return r
+}
+
+// SetCallback installs the revocation policy (the session's cache drop).
+func (r *Remote) SetCallback(fn func(proto.SegKey) bool) {
+	r.mu.Lock()
+	r.onCallback = fn
+	r.mu.Unlock()
+}
+
+// Calls reports the number of RPCs issued (message counting for E6).
+func (r *Remote) Calls() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls
+}
+
+func (r *Remote) call(method string, args, reply any) error {
+	r.mu.Lock()
+	r.calls++
+	r.mu.Unlock()
+	return r.p.Call(method, args, reply)
+}
+
+// Hello implements proto.Conn.
+func (r *Remote) Hello(name string) (uint32, error) {
+	var rep proto.HelloReply
+	if err := r.call("Hello", &proto.HelloArgs{Name: name}, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Client, nil
+}
+
+// OpenDB implements proto.Conn.
+func (r *Remote) OpenDB(name string, create bool) (uint32, uint16, error) {
+	var rep proto.OpenDBReply
+	if err := r.call("OpenDB", &proto.OpenDBArgs{Name: name, Create: create}, &rep); err != nil {
+		return 0, 0, err
+	}
+	return rep.DB, rep.Host, nil
+}
+
+// NewTx implements proto.Conn.
+func (r *Remote) NewTx() (uint64, error) {
+	var rep proto.NewTxReply
+	if err := r.call("NewTx", &proto.NewTxArgs{}, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Tx, nil
+}
+
+// RegisterType implements proto.Conn.
+func (r *Remote) RegisterType(db uint32, t proto.TypeInfo) (proto.TypeInfo, error) {
+	var rep proto.RegisterTypeReply
+	if err := r.call("RegisterType", &proto.RegisterTypeArgs{DB: db, Info: t}, &rep); err != nil {
+		return proto.TypeInfo{}, err
+	}
+	return rep.Info, nil
+}
+
+// Types implements proto.Conn.
+func (r *Remote) Types(db uint32) ([]proto.TypeInfo, error) {
+	var rep proto.TypesReply
+	if err := r.call("Types", &proto.TypesArgs{DB: db}, &rep); err != nil {
+		return nil, err
+	}
+	return rep.Infos, nil
+}
+
+// NewFileID implements proto.Conn.
+func (r *Remote) NewFileID(db uint32) (uint32, error) {
+	var rep proto.NewFileIDReply
+	if err := r.call("NewFileID", &proto.NewFileIDArgs{DB: db}, &rep); err != nil {
+		return 0, err
+	}
+	return rep.File, nil
+}
+
+// AddArea implements proto.Conn.
+func (r *Remote) AddArea(db uint32) (uint32, error) {
+	var rep proto.AddAreaReply
+	if err := r.call("AddArea", &proto.AddAreaArgs{DB: db}, &rep); err != nil {
+		return 0, err
+	}
+	return rep.Area, nil
+}
+
+// CreateSegment implements proto.Conn.
+func (r *Remote) CreateSegment(db, fileID uint32, slottedPages, dataPages, areaHint int) (proto.SegKey, error) {
+	var rep proto.CreateSegmentReply
+	err := r.call("CreateSegment", &proto.CreateSegmentArgs{
+		DB: db, FileID: fileID, SlottedPages: slottedPages, DataPages: dataPages, AreaHint: areaHint,
+	}, &rep)
+	return rep.Seg, err
+}
+
+// SegInfo implements proto.Conn.
+func (r *Remote) SegInfo(seg proto.SegKey) (int, error) {
+	var rep proto.SegInfoReply
+	err := r.call("SegInfo", &proto.SegInfoArgs{Seg: seg}, &rep)
+	return rep.SlottedPages, err
+}
+
+// FetchSlotted implements proto.Conn.
+func (r *Remote) FetchSlotted(client uint32, seg proto.SegKey) ([]byte, []byte, error) {
+	var rep proto.FetchSlottedReply
+	err := r.call("FetchSlotted", &proto.FetchSlottedArgs{Client: client, Seg: seg}, &rep)
+	return rep.Slotted, rep.Overflow, err
+}
+
+// FetchData implements proto.Conn.
+func (r *Remote) FetchData(client uint32, seg proto.SegKey) ([]byte, error) {
+	var rep proto.FetchDataReply
+	err := r.call("FetchData", &proto.FetchDataArgs{Client: client, Seg: seg}, &rep)
+	return rep.Data, err
+}
+
+// FetchLarge implements proto.Conn.
+func (r *Remote) FetchLarge(client uint32, seg proto.SegKey, slot int) ([]byte, error) {
+	var rep proto.FetchLargeReply
+	err := r.call("FetchLarge", &proto.FetchLargeArgs{Client: client, Seg: seg, Slot: slot}, &rep)
+	return rep.Data, err
+}
+
+// Resolve implements proto.Conn.
+func (r *Remote) Resolve(db uint32, headerOff uint64) (proto.SegKey, int, error) {
+	var rep proto.ResolveReply
+	err := r.call("Resolve", &proto.ResolveArgs{DB: db, HeaderOff: headerOff}, &rep)
+	return rep.Seg, rep.Slot, err
+}
+
+// Lock implements proto.Conn.
+func (r *Remote) Lock(client uint32, tx uint64, seg proto.SegKey, mode proto.LockMode) error {
+	return r.call("Lock", &proto.LockArgs{Client: client, Tx: tx, Seg: seg, Mode: mode}, &proto.Empty{})
+}
+
+// LockObject implements proto.Conn.
+func (r *Remote) LockObject(client uint32, tx uint64, seg proto.SegKey, slot int, mode proto.LockMode) error {
+	return r.call("LockObject", &proto.LockObjectArgs{
+		Client: client, Tx: tx, Seg: seg, Slot: slot, Mode: mode,
+	}, &proto.Empty{})
+}
+
+// Commit implements proto.Conn.
+func (r *Remote) Commit(client uint32, tx uint64, segs []proto.SegImage) error {
+	return r.call("Commit", &proto.CommitArgs{Client: client, Tx: tx, Segs: segs}, &proto.Empty{})
+}
+
+// Abort implements proto.Conn.
+func (r *Remote) Abort(client uint32, tx uint64) error {
+	return r.call("Abort", &proto.AbortArgs{Client: client, Tx: tx}, &proto.Empty{})
+}
+
+// Prepare implements proto.Conn.
+func (r *Remote) Prepare(client uint32, tx uint64, segs []proto.SegImage) error {
+	return r.call("Prepare", &proto.PrepareArgs{Client: client, Tx: tx, Segs: segs}, &proto.Empty{})
+}
+
+// Decide implements proto.Conn.
+func (r *Remote) Decide(tx uint64, commit bool) error {
+	return r.call("Decide", &proto.DecideArgs{Tx: tx, Commit: commit}, &proto.Empty{})
+}
+
+// SegmentsOf implements proto.Conn.
+func (r *Remote) SegmentsOf(db, fileID uint32) ([]proto.SegKey, error) {
+	var rep proto.SegmentsOfReply
+	err := r.call("SegmentsOf", &proto.SegmentsOfArgs{DB: db, FileID: fileID}, &rep)
+	return rep.Segs, err
+}
+
+// Released implements proto.Conn.
+func (r *Remote) Released(client uint32, seg proto.SegKey) error {
+	return r.call("Released", &proto.ReleasedArgs{Client: client, Seg: seg}, &proto.Empty{})
+}
+
+// CreateLarge implements proto.Conn.
+func (r *Remote) CreateLarge(client uint32, tx uint64, seg proto.SegKey, typ uint32, content []byte) (int, error) {
+	var rep proto.CreateLargeReply
+	err := r.call("CreateLarge", &proto.CreateLargeArgs{
+		Client: client, Tx: tx, Seg: seg, Type: typ, Content: content,
+	}, &rep)
+	return rep.Slot, err
+}
+
+// AllocRun implements proto.Conn.
+func (r *Remote) AllocRun(db uint32, nPages int) (uint32, int64, int, error) {
+	var rep proto.AllocRunReply
+	err := r.call("AllocRun", &proto.AllocRunArgs{DB: db, NPages: nPages}, &rep)
+	return rep.Area, rep.Start, rep.Granted, err
+}
+
+// FreeRun implements proto.Conn.
+func (r *Remote) FreeRun(db, area uint32, start int64) error {
+	return r.call("FreeRun", &proto.RunArgs{DB: db, Area: area, Start: start}, &proto.Empty{})
+}
+
+// ReadRun implements proto.Conn.
+func (r *Remote) ReadRun(db, area uint32, start int64, nPages int) ([]byte, error) {
+	var rep proto.RunReply
+	err := r.call("ReadRun", &proto.RunArgs{DB: db, Area: area, Start: start, NPages: nPages}, &rep)
+	return rep.Data, err
+}
+
+// WriteRun implements proto.Conn.
+func (r *Remote) WriteRun(db, area uint32, start int64, data []byte) error {
+	return r.call("WriteRun", &proto.RunArgs{DB: db, Area: area, Start: start, Data: data}, &proto.Empty{})
+}
+
+// NameBind implements proto.Conn.
+func (r *Remote) NameBind(db uint32, name string, o oid.OID) error {
+	var a proto.NameBindArgs
+	a.DB, a.Name = db, name
+	o.Put(a.OID[:])
+	return r.call("NameBind", &a, &proto.Empty{})
+}
+
+// NameLookup implements proto.Conn.
+func (r *Remote) NameLookup(db uint32, name string) (oid.OID, error) {
+	var rep proto.NameLookupReply
+	if err := r.call("NameLookup", &proto.NameLookupArgs{DB: db, Name: name}, &rep); err != nil {
+		return oid.Nil, err
+	}
+	return oid.Decode(rep.OID[:])
+}
+
+// NameUnbind implements proto.Conn.
+func (r *Remote) NameUnbind(db uint32, name string) error {
+	return r.call("NameUnbind", &proto.NameUnbindArgs{DB: db, Name: name}, &proto.Empty{})
+}
+
+// NameRemoveOID implements proto.Conn.
+func (r *Remote) NameRemoveOID(db uint32, o oid.OID) error {
+	var a proto.NameRemoveOIDArgs
+	a.DB = db
+	o.Put(a.OID[:])
+	return r.call("NameRemoveOID", &a, &proto.Empty{})
+}
+
+// Close tears down the connection.
+func (r *Remote) Close() error { return r.p.Close() }
+
+var _ proto.Conn = (*Remote)(nil)

@@ -1,0 +1,867 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"bess/internal/detect"
+	"bess/internal/largeobj"
+	"bess/internal/oid"
+	"bess/internal/page"
+	"bess/internal/proto"
+	"bess/internal/segment"
+	"bess/internal/swizzle"
+	"bess/internal/vmem"
+)
+
+// Errors returned by sessions.
+var (
+	ErrNoTx      = errors.New("client: no active transaction")
+	ErrTxActive  = errors.New("client: transaction already active")
+	ErrDirtySeg  = errors.New("client: operation invalid on a segment dirty in this transaction")
+	ErrStaleRoot = errors.New("client: root object OID is stale")
+)
+
+// Stats are per-session counters: the quantities E2/E6 report.
+type Stats struct {
+	Transactions int64
+	LocalGrants  int64 // segment accesses served from the inter-tx cache
+	SegsShipped  int64 // segment images shipped at commits
+	Drops        int64 // cached copies dropped by callbacks
+	Refusals     int64 // callbacks refused (copy in use)
+}
+
+// Session is one application's copy-on-access connection to a database:
+// a private address space and buffer pool, segments cached across
+// transactions, callback-maintained consistency, and commit shipping.
+type Session struct {
+	mu     sync.Mutex
+	conn   proto.Conn
+	remote *Remote // non-nil when conn is RPC-backed
+	client uint32
+	db     uint32
+	host   uint16
+	types  *segment.Registry
+	space  *vmem.Space
+	mapper *swizzle.Mapper
+	det    *detect.Detector
+
+	txID         uint64
+	inTx         bool
+	xLocked      map[proto.SegKey]bool
+	touched      map[proto.SegKey]bool
+	dirtySlotted map[proto.SegKey]bool
+	// pendingDrops holds callback revocations accepted between
+	// transactions; the application thread applies them at the next Begin
+	// (the mapper is single-threaded by design, so the RPC goroutine never
+	// touches it).
+	pendingDrops map[proto.SegKey]bool
+
+	stats Stats
+}
+
+// Open connects a session to database dbName through conn (a direct
+// server handle, a node server, or a Remote). create makes the database if
+// absent.
+func Open(conn proto.Conn, name, dbName string, create bool) (*Session, error) {
+	s := &Session{
+		conn:         conn,
+		types:        segment.NewRegistry(),
+		space:        vmem.New(),
+		xLocked:      make(map[proto.SegKey]bool),
+		touched:      make(map[proto.SegKey]bool),
+		dirtySlotted: make(map[proto.SegKey]bool),
+		pendingDrops: make(map[proto.SegKey]bool),
+	}
+	id, err := conn.Hello(name)
+	if err != nil {
+		return nil, err
+	}
+	s.client = id
+	s.db, s.host, err = conn.OpenDB(dbName, create)
+	if err != nil {
+		return nil, err
+	}
+	// Load the database's registered types.
+	infos, err := conn.Types(s.db)
+	if err != nil {
+		return nil, err
+	}
+	for _, ti := range infos {
+		if _, err := s.types.Register(ti.ToDesc()); err != nil {
+			return nil, err
+		}
+	}
+	s.mapper = swizzle.NewMapper(s.space, &fetcher{s: s}, s.types)
+	s.det = detect.New(s.mapper, true)
+	s.det.SetAccessFunc(s.onAccess)
+	// Wire the revocation path. Remote connections route the server's
+	// Callback RPC here; direct server handles and node servers expose a
+	// SetCallback method.
+	type callbackSetter interface {
+		SetCallback(uint32, func(proto.SegKey) (bool, error)) error
+	}
+	switch c := conn.(type) {
+	case *Remote:
+		s.remote = c
+		c.SetCallback(s.onCallback)
+	case callbackSetter:
+		if err := c.SetCallback(id, func(k proto.SegKey) (bool, error) {
+			return s.onCallback(k), nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// segKey / segID convert between wire and mapper segment names.
+func segKey(id swizzle.SegID) proto.SegKey {
+	return proto.SegKey{Area: uint32(id.Area), Start: int64(id.Start)}
+}
+
+func segID(k proto.SegKey) swizzle.SegID {
+	return swizzle.SegID{Area: page.AreaID(k.Area), Start: page.No(k.Start)}
+}
+
+// DB returns the open database id.
+func (s *Session) DB() uint32 { return s.db }
+
+// Client returns the server-assigned client id.
+func (s *Session) Client() uint32 { return s.client }
+
+// Types returns the session's type registry.
+func (s *Session) Types() *segment.Registry { return s.types }
+
+// Mapper exposes the underlying mapper (benches and tools).
+func (s *Session) Mapper() *swizzle.Mapper { return s.mapper }
+
+// Snapshot returns the session counters.
+func (s *Session) Snapshot() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// RegisterType registers a type with the database and the local registry.
+func (s *Session) RegisterType(td segment.TypeDesc) (*segment.TypeDesc, error) {
+	info, err := s.conn.RegisterType(s.db, proto.FromDesc(&td))
+	if err != nil {
+		return nil, err
+	}
+	return s.types.Register(info.ToDesc())
+}
+
+// --- fetcher: the mapper's view of the connection ---
+
+type fetcher struct{ s *Session }
+
+func (f *fetcher) SlottedPages(id swizzle.SegID) (int, error) {
+	return f.s.conn.SegInfo(segKey(id))
+}
+
+func (f *fetcher) FetchSlotted(id swizzle.SegID) (*segment.Seg, error) {
+	sl, ov, err := f.s.conn.FetchSlotted(f.s.client, segKey(id))
+	if err != nil {
+		return nil, err
+	}
+	dec, err := segment.DecodeSlotted(sl)
+	if err != nil {
+		return nil, err
+	}
+	dec.Overflow = ov
+	return dec, nil
+}
+
+func (f *fetcher) FetchData(id swizzle.SegID, _ *segment.Seg) ([]byte, error) {
+	return f.s.conn.FetchData(f.s.client, segKey(id))
+}
+
+func (f *fetcher) FetchLarge(id swizzle.SegID, _ *segment.Seg, slot int) ([]byte, error) {
+	return f.s.conn.FetchLarge(f.s.client, segKey(id), slot)
+}
+
+func (f *fetcher) Resolve(headerOff uint64) (swizzle.SegID, int, error) {
+	k, slot, err := f.s.conn.Resolve(f.s.db, headerOff)
+	if err != nil {
+		return swizzle.SegID{}, 0, err
+	}
+	return segID(k), slot, nil
+}
+
+// --- update detection → locking ---
+
+// onAccess runs inside the fault handler when a transaction first touches a
+// page: reads are granted locally (the cached copy is the paper's retained
+// lock); the first write to a segment acquires X at the server.
+func (s *Session) onAccess(k detect.PageKey, write bool) error {
+	key := segKey(k.Seg)
+	s.mu.Lock()
+	if !s.inTx {
+		s.mu.Unlock()
+		return ErrNoTx
+	}
+	s.markTouchedLocked(key)
+	needLock := write && !s.xLocked[key]
+	txid := s.txID
+	s.mu.Unlock()
+	if !needLock {
+		return nil
+	}
+	if err := s.conn.Lock(s.client, txid, key, proto.LockX); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.xLocked[key] = true
+	s.mu.Unlock()
+	return nil
+}
+
+// onCallback handles a server revocation. It runs on the RPC goroutine, so
+// it never touches the (single-threaded) mapper: while a transaction is
+// active the callback is refused — the paper's "callback waits until the
+// client's transaction ends" — and between transactions the drop is queued
+// for the application thread to apply at the next Begin. TryLock keeps the
+// callback from deadlocking against an in-flight remote call that holds
+// the session.
+func (s *Session) onCallback(key proto.SegKey) (refused bool) {
+	if !s.mu.TryLock() {
+		return true
+	}
+	defer s.mu.Unlock()
+	// Refuse while the current transaction is using this copy; copies of
+	// segments the transaction has not touched may be promised away — the
+	// drop is applied by the application thread before any later access
+	// (drainDropLocked).
+	if s.inTx && (s.touched[key] || s.xLocked[key] || s.dirtySlotted[key]) {
+		s.stats.Refusals++
+		return true
+	}
+	s.pendingDrops[key] = true
+	s.stats.Drops++
+	return false
+}
+
+// drainDrop atomically marks key as touched by the current transaction
+// (so no callback can revoke it from here to end of transaction) and
+// applies any queued revocation before the caller resolves an address in
+// the segment. Runs on the application thread. The touch-before-drain
+// order is load-bearing: marking first closes the window in which a
+// revocation could be accepted after the drain but before the access.
+func (s *Session) drainDrop(key proto.SegKey) error {
+	s.mu.Lock()
+	pending := s.pendingDrops[key]
+	if pending {
+		delete(s.pendingDrops, key)
+	}
+	if s.inTx {
+		s.markTouchedLocked(key)
+	}
+	s.mu.Unlock()
+	if !pending {
+		return nil
+	}
+	return s.mapper.DropSeg(segID(key))
+}
+
+// --- transactions ---
+
+// Begin starts a transaction, first applying any revocations accepted
+// since the last one (the copies were promised to the server).
+func (s *Session) Begin() error {
+	s.mu.Lock()
+	if s.inTx {
+		s.mu.Unlock()
+		return ErrTxActive
+	}
+	// Mark the transaction active before applying queued drops so a
+	// callback racing this Begin is refused rather than queued behind the
+	// drain (it would otherwise go unapplied until the next Begin while
+	// this transaction reads the copy).
+	s.inTx = true
+	s.txID = 0
+	drops := s.pendingDrops
+	s.pendingDrops = make(map[proto.SegKey]bool)
+	s.mu.Unlock()
+	for key := range drops {
+		if err := s.mapper.DropSeg(segID(key)); err != nil {
+			s.mu.Lock()
+			s.inTx = false
+			s.mu.Unlock()
+			return err
+		}
+	}
+	id, err := s.conn.NewTx()
+	if err != nil {
+		s.mu.Lock()
+		s.inTx = false
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Lock()
+	s.txID = id
+	s.touched = make(map[proto.SegKey]bool)
+	s.stats.Transactions++
+	s.mu.Unlock()
+	return nil
+}
+
+// TxID returns the current transaction id.
+func (s *Session) TxID() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txID, s.inTx
+}
+
+// shipImages builds the commit payload from the dirty segments.
+func (s *Session) shipImages() ([]proto.SegImage, error) {
+	dirty := make(map[proto.SegKey]bool)
+	for _, id := range s.mapper.DirtySegs() {
+		dirty[segKey(id)] = true
+	}
+	s.mu.Lock()
+	for k := range s.dirtySlotted {
+		dirty[k] = true
+	}
+	s.mu.Unlock()
+	var images []proto.SegImage
+	for k := range dirty {
+		id := segID(k)
+		seg, ok := s.mapper.Seg(id)
+		if !ok {
+			continue
+		}
+		img := proto.SegImage{Seg: k, Slotted: seg.EncodeSlotted(), Overflow: seg.Overflow}
+		if data, _, err := s.mapper.UnswizzledData(id); err == nil {
+			img.Data = data
+		}
+		images = append(images, img)
+	}
+	return images, nil
+}
+
+// ensureWriteLocks acquires X on every dirty segment that was modified
+// through trusted paths (object creation) rather than page faults.
+func (s *Session) ensureWriteLocks(images []proto.SegImage) error {
+	for _, img := range images {
+		s.mu.Lock()
+		have := s.xLocked[img.Seg]
+		txid := s.txID
+		s.mu.Unlock()
+		if have {
+			continue
+		}
+		if err := s.conn.Lock(s.client, txid, img.Seg, proto.LockX); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.xLocked[img.Seg] = true
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Commit ships the dirty segments and commits at the server. Cached data
+// stays resident for the next transaction.
+func (s *Session) Commit() error {
+	s.mu.Lock()
+	if !s.inTx {
+		s.mu.Unlock()
+		return ErrNoTx
+	}
+	txid := s.txID
+	s.mu.Unlock()
+	images, err := s.shipImages()
+	if err != nil {
+		return err
+	}
+	if err := s.ensureWriteLocks(images); err != nil {
+		_ = s.Abort()
+		return err
+	}
+	if err := s.conn.Commit(s.client, txid, images); err != nil {
+		_ = s.Abort()
+		return err
+	}
+	s.mu.Lock()
+	s.stats.SegsShipped += int64(len(images))
+	s.mu.Unlock()
+	for _, img := range images {
+		s.mapper.MarkClean(segID(img.Seg))
+	}
+	s.endTx()
+	return nil
+}
+
+// PrepareCommit is the distributed variant's phase-1: ship images and vote.
+// FinishCommit delivers the coordinator's decision.
+func (s *Session) PrepareCommit() error {
+	s.mu.Lock()
+	if !s.inTx {
+		s.mu.Unlock()
+		return ErrNoTx
+	}
+	txid := s.txID
+	s.mu.Unlock()
+	images, err := s.shipImages()
+	if err != nil {
+		return err
+	}
+	if err := s.ensureWriteLocks(images); err != nil {
+		return err
+	}
+	if err := s.conn.Prepare(s.client, txid, images); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.stats.SegsShipped += int64(len(images))
+	s.mu.Unlock()
+	return nil
+}
+
+// FinishCommit completes a prepared transaction with the 2PC decision.
+func (s *Session) FinishCommit(commit bool) error {
+	s.mu.Lock()
+	if !s.inTx {
+		s.mu.Unlock()
+		return ErrNoTx
+	}
+	txid := s.txID
+	s.mu.Unlock()
+	err := s.conn.Decide(txid, commit)
+	if commit && err == nil {
+		for _, id := range s.mapper.DirtySegs() {
+			s.mapper.MarkClean(id)
+		}
+	} else {
+		s.dropDirty()
+	}
+	s.endTx()
+	return err
+}
+
+// Abort rolls back: local changes are discarded (dirty cached copies are
+// dropped so the next access refetches committed state) and the server
+// releases locks.
+func (s *Session) Abort() error {
+	s.mu.Lock()
+	if !s.inTx {
+		s.mu.Unlock()
+		return ErrNoTx
+	}
+	txid := s.txID
+	s.mu.Unlock()
+	s.dropDirty()
+	err := s.conn.Abort(s.client, txid)
+	s.endTx()
+	return err
+}
+
+func (s *Session) dropDirty() {
+	dirty := make(map[proto.SegKey]bool)
+	for _, id := range s.mapper.DirtySegs() {
+		dirty[segKey(id)] = true
+	}
+	s.mu.Lock()
+	for k := range s.dirtySlotted {
+		dirty[k] = true
+	}
+	s.mu.Unlock()
+	for k := range dirty {
+		_ = s.mapper.DropSeg(segID(k))
+		_ = s.conn.Released(s.client, k)
+	}
+}
+
+func (s *Session) endTx() {
+	s.det.EndTransaction()
+	s.mu.Lock()
+	s.inTx = false
+	s.txID = 0
+	s.xLocked = make(map[proto.SegKey]bool)
+	s.touched = make(map[proto.SegKey]bool)
+	s.dirtySlotted = make(map[proto.SegKey]bool)
+	s.mu.Unlock()
+}
+
+// --- object operations ---
+
+// LockObject takes an explicit object-level lock on the object at ref —
+// the software-based finer-granularity locking of §2.3/[27]. Page-level
+// detection still drives segment X locks on actual writes; object locks
+// let applications serialize logical conflicts below segment granularity.
+func (s *Session) LockObject(ref vmem.Addr, exclusive bool) error {
+	s.mu.Lock()
+	if !s.inTx {
+		s.mu.Unlock()
+		return ErrNoTx
+	}
+	txid := s.txID
+	s.mu.Unlock()
+	obj, err := s.Deref(ref)
+	if err != nil {
+		return err
+	}
+	id, _, _, ok := s.mapper.FrameInfo(ref.Frame())
+	if !ok {
+		return swizzle.ErrUnknownAddr
+	}
+	mode := proto.LockS
+	if exclusive {
+		mode = proto.LockX
+	}
+	return s.conn.LockObject(s.client, txid, segKey(id), obj.Slot, mode)
+}
+
+// CreateSegment allocates a new object segment in the session's database.
+func (s *Session) CreateSegment(fileID uint32, slottedPages, dataPages, areaHint int) (proto.SegKey, error) {
+	return s.conn.CreateSegment(s.db, fileID, slottedPages, dataPages, areaHint)
+}
+
+// Deref resolves a reference (slot virtual address) to an object handle,
+// marking the segment as touched by this transaction.
+func (s *Session) Deref(ref vmem.Addr) (*swizzle.Object, error) {
+	s.mu.Lock()
+	if !s.inTx {
+		s.mu.Unlock()
+		return nil, ErrNoTx
+	}
+	s.mu.Unlock()
+	if id, _, _, ok := s.mapper.FrameInfo(ref.Frame()); ok {
+		if err := s.drainDrop(segKey(id)); err != nil {
+			return nil, err
+		}
+	}
+	obj, err := s.mapper.Deref(ref)
+	if err != nil {
+		return nil, err
+	}
+	if id, _, _, ok := s.mapper.FrameInfo(ref.Frame()); ok {
+		s.mu.Lock()
+		s.markTouchedLocked(segKey(id))
+		s.mu.Unlock()
+	}
+	return obj, nil
+}
+
+// markTouchedLocked records the first use of a segment in this transaction;
+// a use served entirely from the inter-transaction cache is a "local grant"
+// (no server interaction), the quantity E6 reports. Callers hold s.mu.
+func (s *Session) markTouchedLocked(key proto.SegKey) {
+	if !s.touched[key] {
+		s.touched[key] = true
+		s.stats.LocalGrants++
+	}
+}
+
+// AddrOfSlot returns a reference to (seg, slot), reserving lazily.
+func (s *Session) AddrOfSlot(seg proto.SegKey, slot int) (vmem.Addr, error) {
+	if err := s.drainDrop(seg); err != nil {
+		return vmem.NilAddr, err
+	}
+	return s.mapper.AddrOfSlot(segID(seg), slot)
+}
+
+// CreateObject allocates an object in seg, returning its slot address. The
+// segment is X-locked and its image ships at commit.
+func (s *Session) CreateObject(seg proto.SegKey, typ segment.TypeID, data []byte) (vmem.Addr, error) {
+	s.mu.Lock()
+	if !s.inTx {
+		s.mu.Unlock()
+		return vmem.NilAddr, ErrNoTx
+	}
+	txid := s.txID
+	have := s.xLocked[seg]
+	s.mu.Unlock()
+	if !have {
+		if err := s.conn.Lock(s.client, txid, seg, proto.LockX); err != nil {
+			return vmem.NilAddr, err
+		}
+		s.mu.Lock()
+		s.xLocked[seg] = true
+		s.mu.Unlock()
+	}
+	if err := s.drainDrop(seg); err != nil {
+		return vmem.NilAddr, err
+	}
+	id := segID(seg)
+	if err := s.mapper.EnsureData(id); err != nil {
+		return vmem.NilAddr, err
+	}
+	var slot int
+	err := s.mapper.TrustedSlotUpdate(id, func(sg *segment.Seg) error {
+		var err error
+		slot, err = sg.CreateObject(typ, data)
+		if err == segment.ErrDataFull {
+			// Grow the data segment and relocate (server re-homes it at
+			// commit); references are unaffected.
+			pages := int(sg.Hdr.DataPages) * 2
+			if pages == 0 {
+				pages = 1
+			}
+			if err2 := sg.ResizeData(pages); err2 != nil {
+				return err2
+			}
+			if err2 := s.mapper.RelocateData(id); err2 != nil {
+				return err2
+			}
+			slot, err = sg.CreateObject(typ, data)
+		}
+		return err
+	})
+	if err != nil {
+		return vmem.NilAddr, err
+	}
+	s.mapper.MarkDataDirty(id)
+	s.mu.Lock()
+	s.dirtySlotted[seg] = true
+	s.touched[seg] = true
+	s.mu.Unlock()
+	return s.mapper.AddrOfSlot(id, slot)
+}
+
+// DeleteObject removes the object at ref; its slot's uniquifier is bumped
+// and its name (if it is a root object) is unbound.
+func (s *Session) DeleteObject(ref vmem.Addr) error {
+	obj, err := s.Deref(ref)
+	if err != nil {
+		return err
+	}
+	id, _, _, _ := s.mapper.FrameInfo(ref.Frame())
+	key := segKey(id)
+	s.mu.Lock()
+	txid := s.txID
+	have := s.xLocked[key]
+	s.mu.Unlock()
+	if !have {
+		if err := s.conn.Lock(s.client, txid, key, proto.LockX); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.xLocked[key] = true
+		s.mu.Unlock()
+	}
+	o := s.OIDOf(ref)
+	if err := s.mapper.TrustedSlotUpdate(id, func(sg *segment.Seg) error {
+		return sg.DeleteObject(obj.Slot)
+	}); err != nil {
+		return err
+	}
+	s.mapper.MarkDataDirty(id)
+	s.mu.Lock()
+	s.dirtySlotted[key] = true
+	s.mu.Unlock()
+	// Referential integrity for root objects (§2.5): removing the object
+	// removes its name.
+	if !o.IsNil() {
+		_ = s.conn.NameRemoveOID(s.db, o)
+	}
+	return nil
+}
+
+// OIDOf computes the 96-bit OID of the object at ref.
+func (s *Session) OIDOf(ref vmem.Addr) oid.OID {
+	id, kind, _, ok := s.mapper.FrameInfo(ref.Frame())
+	if !ok || kind != swizzle.FrameSlotted {
+		return oid.Nil
+	}
+	obj, err := s.mapper.Deref(ref)
+	if err != nil {
+		return oid.Nil
+	}
+	seg, _ := s.mapper.Seg(id)
+	return oid.OID{
+		Host:   s.host,
+		DB:     uint16(s.db),
+		Offset: swizzle.HeaderOffset(id, obj.Slot),
+		Unique: seg.Slots[obj.Slot].Unique,
+	}
+}
+
+// DerefOID resolves an OID (the global_ref<T> path: slower, validated
+// against the slot uniquifier).
+func (s *Session) DerefOID(o oid.OID) (*swizzle.Object, error) {
+	id, slot, err := s.conn.Resolve(s.db, o.Offset)
+	if err != nil {
+		return nil, err
+	}
+	// Through the session's AddrOfSlot so a pending revocation of the
+	// segment is applied before resolving a (then-fresh) address.
+	addr, err := s.AddrOfSlot(proto.SegKey{Area: uint32(id.Area), Start: int64(id.Start)}, slot)
+	if err != nil {
+		return nil, err
+	}
+	obj, err := s.Deref(addr)
+	if err != nil {
+		return nil, err
+	}
+	seg, _ := s.mapper.Seg(segID(id))
+	if seg.Slots[slot].Unique != o.Unique {
+		return nil, ErrStaleRoot
+	}
+	return obj, nil
+}
+
+// SetRoot names the object at ref ("root" objects, §2.5).
+func (s *Session) SetRoot(name string, ref vmem.Addr) error {
+	o := s.OIDOf(ref)
+	if o.IsNil() {
+		return swizzle.ErrUnknownAddr
+	}
+	return s.conn.NameBind(s.db, name, o)
+}
+
+// Root resolves a named root object.
+func (s *Session) Root(name string) (*swizzle.Object, error) {
+	o, err := s.conn.NameLookup(s.db, name)
+	if err != nil {
+		return nil, err
+	}
+	return s.DerefOID(o)
+}
+
+// UnsetRoot removes a name.
+func (s *Session) UnsetRoot(name string) error {
+	return s.conn.NameUnbind(s.db, name)
+}
+
+// CreateLarge stores a transparent large object in seg server-side; the
+// local cached copy is refreshed. Fails if the segment is dirty locally.
+func (s *Session) CreateLarge(seg proto.SegKey, typ segment.TypeID, content []byte) (vmem.Addr, error) {
+	s.mu.Lock()
+	if !s.inTx {
+		s.mu.Unlock()
+		return vmem.NilAddr, ErrNoTx
+	}
+	if s.dirtySlotted[seg] {
+		s.mu.Unlock()
+		return vmem.NilAddr, ErrDirtySeg
+	}
+	txid := s.txID
+	s.mu.Unlock()
+	for _, id := range s.mapper.DirtySegs() {
+		if segKey(id) == seg {
+			return vmem.NilAddr, ErrDirtySeg
+		}
+	}
+	slot, err := s.conn.CreateLarge(s.client, txid, seg, uint32(typ), content)
+	if err != nil {
+		return vmem.NilAddr, err
+	}
+	s.mu.Lock()
+	s.xLocked[seg] = true // the server took X under our tx
+	s.touched[seg] = true
+	s.mu.Unlock()
+	// Refresh the cached copy so the new slot is visible.
+	if err := s.mapper.DropSeg(segID(seg)); err != nil {
+		return vmem.NilAddr, err
+	}
+	return s.mapper.AddrOfSlot(segID(seg), slot)
+}
+
+// Conn exposes the underlying connection (the core layer issues catalog
+// operations through it).
+func (s *Session) Conn() proto.Conn { return s.conn }
+
+// ScanSegment iterates over the live objects of one segment.
+func (s *Session) ScanSegment(k proto.SegKey, fn func(addr vmem.Addr, obj *swizzle.Object) error) error {
+	if err := s.drainDrop(k); err != nil {
+		return err
+	}
+	id := segID(k)
+	if err := s.mapper.EnsureLoaded(id); err != nil {
+		return err
+	}
+	seg, _ := s.mapper.Seg(id)
+	for _, slot := range seg.LiveSlots() {
+		addr, err := s.mapper.AddrOfSlot(id, slot)
+		if err != nil {
+			return err
+		}
+		obj, err := s.Deref(addr)
+		if err != nil {
+			return err
+		}
+		if err := fn(addr, obj); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Scan iterates over the live objects of every segment of file fileID,
+// calling fn with each object's address. This is the cursor mechanism files
+// provide (§2).
+func (s *Session) Scan(fileID uint32, fn func(addr vmem.Addr, obj *swizzle.Object) error) error {
+	segs, err := s.conn.SegmentsOf(s.db, fileID)
+	if err != nil {
+		return err
+	}
+	for _, k := range segs {
+		if err := s.ScanSegment(k, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runStore adapts the connection's raw-run methods to largeobj.Store so
+// very large objects live on server disk. It is bound to one storage area
+// (the database's run area), discovered at construction.
+type runStore struct {
+	s    *Session
+	area uint32
+}
+
+var _ largeobj.Store = (*runStore)(nil)
+
+// RunStore returns a largeobj.Store backed by this session's database.
+func (s *Session) RunStore() (largeobj.Store, error) {
+	a, start, _, err := s.conn.AllocRun(s.db, 1)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.conn.FreeRun(s.db, a, start); err != nil {
+		return nil, err
+	}
+	return &runStore{s: s, area: a}, nil
+}
+
+func (r *runStore) Alloc(nPages int) (page.No, int, error) {
+	a, start, granted, err := r.s.conn.AllocRun(r.s.db, nPages)
+	if err == nil && a != r.area {
+		return 0, 0, fmt.Errorf("client: run area changed (%d → %d)", r.area, a)
+	}
+	return page.No(start), granted, err
+}
+
+func (r *runStore) Free(start page.No) error {
+	return r.s.conn.FreeRun(r.s.db, r.area, int64(start))
+}
+
+func (r *runStore) ReadRun(start page.No, n int, buf []byte) error {
+	data, err := r.s.conn.ReadRun(r.s.db, r.area, int64(start), n)
+	if err != nil {
+		return err
+	}
+	copy(buf, data)
+	return nil
+}
+
+func (r *runStore) WriteRun(start page.No, data []byte) error {
+	return r.s.conn.WriteRun(r.s.db, r.area, int64(start), data)
+}
+
+// DropAllCached drops every cached segment (benchmarks compare cold/warm
+// behaviour).
+func (s *Session) DropAllCached() {
+	for _, id := range s.mapper.CachedSegs() {
+		_ = s.mapper.DropSeg(id)
+		_ = s.conn.Released(s.client, segKey(id))
+	}
+}
+
+func (s *Session) String() string {
+	return fmt.Sprintf("session{client=%d db=%d}", s.client, s.db)
+}

@@ -1,0 +1,224 @@
+package detect
+
+import (
+	"errors"
+	"testing"
+
+	"bess/internal/page"
+	"bess/internal/segment"
+	"bess/internal/swizzle"
+	"bess/internal/vmem"
+)
+
+// fixture builds a single-segment database with two pages of objects.
+type fixture struct {
+	fetch *memFetcher
+	reg   *segment.Registry
+	id    swizzle.SegID
+	slots []int
+}
+
+type memFetcher struct {
+	segs map[swizzle.SegID]*segment.Seg
+}
+
+func (f *memFetcher) SlottedPages(id swizzle.SegID) (int, error) {
+	return int(f.segs[id].Hdr.SlottedPages), nil
+}
+func (f *memFetcher) FetchSlotted(id swizzle.SegID) (*segment.Seg, error) {
+	return segment.DecodeSlotted(f.segs[id].EncodeSlotted())
+}
+func (f *memFetcher) FetchData(id swizzle.SegID, _ *segment.Seg) ([]byte, error) {
+	return append([]byte(nil), f.segs[id].Data...), nil
+}
+func (f *memFetcher) FetchLarge(swizzle.SegID, *segment.Seg, int) ([]byte, error) {
+	return nil, errors.New("no large objects")
+}
+func (f *memFetcher) Resolve(off uint64) (swizzle.SegID, int, error) {
+	area, byteOff := swizzle.SplitHeaderOffset(off)
+	for id, s := range f.segs {
+		if id.Area != area {
+			continue
+		}
+		start := uint64(id.Start) * page.Size
+		if byteOff >= start && byteOff < start+uint64(s.Hdr.SlottedPages)*page.Size {
+			slot, err := segment.SlotIndexForOffset(byteOff - start)
+			return id, slot, err
+		}
+	}
+	return swizzle.SegID{}, 0, errors.New("unresolved")
+}
+
+func build(t *testing.T) *fixture {
+	t.Helper()
+	reg := segment.NewRegistry()
+	id := swizzle.SegID{Area: 1, Start: 10}
+	s := segment.New(1, 1, 3, 1, 100)
+	var slots []int
+	// Fill page 0 and page 1 with blobs.
+	for i := 0; i < 3; i++ {
+		sl, err := s.CreateObject(0, make([]byte, 3000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, sl)
+	}
+	f := &memFetcher{segs: map[swizzle.SegID]*segment.Seg{id: s}}
+	return &fixture{fetch: f, reg: reg, id: id, slots: slots}
+}
+
+func TestWriteSetViaFaults(t *testing.T) {
+	fx := build(t)
+	m := swizzle.NewMapper(vmem.New(), fx.fetch, fx.reg)
+	d := New(m, false)
+
+	addr, _ := m.AddrOfSlot(fx.id, fx.slots[0])
+	obj, err := m.Deref(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reads don't enter the write set.
+	if err := obj.Read(0, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.WriteSet()) != 0 {
+		t.Fatalf("write set after read: %v", d.WriteSet())
+	}
+	// First write faults once, is recorded, and proceeds.
+	if err := obj.Write(0, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ws := d.WriteSet()
+	if len(ws) != 1 || ws[0] != (PageKey{Seg: fx.id, Page: 0}) {
+		t.Fatalf("write set = %v", ws)
+	}
+	// Second write to the same page: no new fault.
+	before := d.FaultsHandled()
+	if err := obj.Write(4, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if d.FaultsHandled() != before {
+		t.Fatal("second write faulted again")
+	}
+	// A write through object 1 (data bytes 3000..6000) crossing the page
+	// boundary adds page 1.
+	addr1, _ := m.AddrOfSlot(fx.id, fx.slots[1])
+	obj1, err := m.Deref(addr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj1.Write(1000, make([]byte, 1400)); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.WriteSet()) != 2 {
+		t.Fatalf("write set = %v", d.WriteSet())
+	}
+}
+
+func TestReadTracking(t *testing.T) {
+	fx := build(t)
+	m := swizzle.NewMapper(vmem.New(), fx.fetch, fx.reg)
+	d := New(m, true)
+
+	addr, _ := m.AddrOfSlot(fx.id, fx.slots[0]) // object on page 0
+	obj, err := m.Deref(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obj.Read(0, make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	rs := d.ReadSet()
+	if len(rs) != 1 || rs[0].Page != 0 {
+		t.Fatalf("read set = %v", rs)
+	}
+	// Reading the third object (page 2 of data, offset 6000) adds that page
+	// but not page 1.
+	addr2, _ := m.AddrOfSlot(fx.id, fx.slots[2])
+	obj2, _ := m.Deref(addr2)
+	if err := obj2.Read(2000, make([]byte, 8)); err != nil { // at data offset ~8096: page 1
+		t.Fatal(err)
+	}
+	if len(d.ReadSet()) != 2 {
+		t.Fatalf("read set = %v", d.ReadSet())
+	}
+}
+
+func TestAccessFuncDenies(t *testing.T) {
+	fx := build(t)
+	m := swizzle.NewMapper(vmem.New(), fx.fetch, fx.reg)
+	d := New(m, false)
+	conflict := errors.New("lock conflict")
+	d.SetAccessFunc(func(k PageKey, write bool) error {
+		if write {
+			return conflict
+		}
+		return nil
+	})
+	addr, _ := m.AddrOfSlot(fx.id, fx.slots[0])
+	obj, _ := m.Deref(addr)
+	if err := obj.Read(0, make([]byte, 4)); err != nil {
+		t.Fatal(err)
+	}
+	err := obj.Write(0, []byte{1})
+	if !errors.Is(err, vmem.ErrViolation) {
+		t.Fatalf("denied write: %v", err)
+	}
+	if len(d.WriteSet()) != 0 {
+		t.Fatal("denied write entered write set")
+	}
+}
+
+func TestEndTransactionReprotects(t *testing.T) {
+	fx := build(t)
+	m := swizzle.NewMapper(vmem.New(), fx.fetch, fx.reg)
+	d := New(m, false)
+	addr, _ := m.AddrOfSlot(fx.id, fx.slots[0])
+	obj, _ := m.Deref(addr)
+	if err := obj.Write(0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	faults1 := d.FaultsHandled()
+	d.EndTransaction()
+	if len(d.WriteSet()) != 0 || len(d.ReadSet()) != 0 {
+		t.Fatal("sets survive EndTransaction")
+	}
+	// The next transaction's write faults afresh and is re-recorded.
+	if err := obj.Write(0, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	if d.FaultsHandled() <= faults1 {
+		t.Fatal("no fresh fault after EndTransaction")
+	}
+	if len(d.WriteSet()) != 1 {
+		t.Fatalf("write set = %v", d.WriteSet())
+	}
+}
+
+func TestSlottedStaysProtected(t *testing.T) {
+	fx := build(t)
+	m := swizzle.NewMapper(vmem.New(), fx.fetch, fx.reg)
+	New(m, false)
+	addr, _ := m.AddrOfSlot(fx.id, fx.slots[0])
+	if _, err := m.Deref(addr); err != nil {
+		t.Fatal(err)
+	}
+	// Even with the detector installed, slotted writes are denied.
+	if err := m.Space().WriteAt(addr, []byte{0xFF}); !errors.Is(err, vmem.ErrViolation) {
+		t.Fatalf("slotted write: %v", err)
+	}
+}
+
+func TestWriteImpliesRead(t *testing.T) {
+	fx := build(t)
+	m := swizzle.NewMapper(vmem.New(), fx.fetch, fx.reg)
+	d := New(m, true)
+	addr, _ := m.AddrOfSlot(fx.id, fx.slots[0])
+	obj, _ := m.Deref(addr)
+	if err := obj.Write(0, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.ReadSet()) != 1 || len(d.WriteSet()) != 1 {
+		t.Fatalf("sets: r=%v w=%v", d.ReadSet(), d.WriteSet())
+	}
+}

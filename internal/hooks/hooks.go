@@ -1,0 +1,172 @@
+// Package hooks implements BeSS primitive events and hook functions
+// (paper §2.4).
+//
+// Programmers get controlled access to entry points in the storage system by
+// registering hook functions against primitive events — segment fault or
+// replacement, database open, locking, transaction commit, deadlocks, and
+// the protection-violation signals (SIGSEGV/SIGBUS analogues). BeSS traps
+// each event as it occurs and runs the associated hooks, letting users
+// enhance or modify behaviour without touching application code or BeSS
+// internals — e.g. counting commits, or compressing large objects on store
+// and decompressing them on fetch.
+package hooks
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Event is a primitive event.
+type Event uint8
+
+// The primitive events BeSS traps (§2.4 lists segment fault or replacement,
+// database open, locking, transaction commit, deadlocks, plus the hardware
+// protection-violation signals; flush/fetch transform points support the
+// compression use case).
+const (
+	EvDatabaseOpen Event = iota
+	EvDatabaseClose
+	EvSegmentFault
+	EvSegmentReplace
+	EvLockAcquire
+	EvLockRelease
+	EvTxBegin
+	EvTxCommit
+	EvTxAbort
+	EvDeadlock
+	EvProtViolation // SIGSEGV/SIGBUS analogue
+	EvObjectFetch   // transform point: large object fetched from disk
+	EvObjectFlush   // transform point: large object about to be stored
+	numEvents
+)
+
+// String names the event.
+func (e Event) String() string {
+	names := [...]string{
+		"database-open", "database-close", "segment-fault", "segment-replace",
+		"lock-acquire", "lock-release", "tx-begin", "tx-commit", "tx-abort",
+		"deadlock", "prot-violation", "object-fetch", "object-flush",
+	}
+	if int(e) < len(names) {
+		return names[e]
+	}
+	return fmt.Sprintf("event(%d)", uint8(e))
+}
+
+// Info carries event details to hooks. Payload is event-specific (e.g. a
+// SegID for segment events, a transaction id for commit). For the transform
+// events Data points at the bytes so hooks may rewrite them in place — this
+// is how user compression/decompression is plugged in.
+type Info struct {
+	Event   Event
+	Payload any
+	Data    *[]byte
+}
+
+// Func is a hook function. Returning an error aborts the Fire call; for
+// transform events the triggering operation fails.
+type Func func(*Info) error
+
+// ID identifies a registration so it can be removed.
+type ID uint64
+
+// Registry holds hook registrations. The zero value is unusable; use
+// NewRegistry. Safe for concurrent use. Hooks run synchronously in
+// registration order.
+type Registry struct {
+	mu     sync.RWMutex
+	nextID ID
+	hooks  [numEvents][]entry
+
+	fired [numEvents]uint64
+}
+
+type entry struct {
+	id ID
+	fn Func
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{nextID: 1} }
+
+// Register attaches fn to event e and returns a removal handle. Hooks are
+// normally registered "before any access to persistent data is initiated".
+func (r *Registry) Register(e Event, fn Func) (ID, error) {
+	if e >= numEvents {
+		return 0, fmt.Errorf("hooks: unknown event %d", e)
+	}
+	if fn == nil {
+		return 0, fmt.Errorf("hooks: nil hook for %v", e)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.nextID
+	r.nextID++
+	r.hooks[e] = append(r.hooks[e], entry{id: id, fn: fn})
+	return id, nil
+}
+
+// Unregister removes a registration; unknown ids are ignored.
+func (r *Registry) Unregister(id ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for e := range r.hooks {
+		hs := r.hooks[e]
+		for i := range hs {
+			if hs[i].id == id {
+				r.hooks[e] = append(hs[:i:i], hs[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// Fire runs the hooks for e in registration order, stopping at the first
+// error. It is cheap when no hook is registered (one atomic-ish read).
+func (r *Registry) Fire(e Event, payload any) error {
+	return r.FireData(e, payload, nil)
+}
+
+// FireData fires a transform event whose hooks may rewrite *data.
+func (r *Registry) FireData(e Event, payload any, data *[]byte) error {
+	if e >= numEvents {
+		return fmt.Errorf("hooks: unknown event %d", e)
+	}
+	r.mu.RLock()
+	hs := r.hooks[e]
+	r.mu.RUnlock()
+	if len(hs) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	r.fired[e]++
+	r.mu.Unlock()
+	info := &Info{Event: e, Payload: payload, Data: data}
+	for _, h := range hs {
+		if err := h.fn(info); err != nil {
+			return fmt.Errorf("hooks: %v hook: %w", e, err)
+		}
+	}
+	return nil
+}
+
+// Fired reports how many times event e fired with at least one hook
+// registered.
+func (r *Registry) Fired(e Event) uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e >= numEvents {
+		return 0
+	}
+	return r.fired[e]
+}
+
+// Count returns the number of hooks registered for e.
+func (r *Registry) Count(e Event) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if e >= numEvents {
+		return 0
+	}
+	return len(r.hooks[e])
+}

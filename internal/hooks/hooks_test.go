@@ -1,0 +1,116 @@
+package hooks
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestRegisterAndFire(t *testing.T) {
+	r := NewRegistry()
+	commits := 0
+	id, err := r.Register(EvTxCommit, func(i *Info) error {
+		commits++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		if err := r.Fire(EvTxCommit, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if commits != 3 {
+		t.Fatalf("commits = %d", commits)
+	}
+	if r.Fired(EvTxCommit) != 3 {
+		t.Fatalf("Fired = %d", r.Fired(EvTxCommit))
+	}
+	r.Unregister(id)
+	if r.Count(EvTxCommit) != 0 {
+		t.Fatal("unregister failed")
+	}
+	if err := r.Fire(EvTxCommit, nil); err != nil {
+		t.Fatal(err)
+	}
+	if commits != 3 {
+		t.Fatal("hook ran after unregister")
+	}
+}
+
+func TestFireOrderAndErrorStops(t *testing.T) {
+	r := NewRegistry()
+	var order []int
+	boom := errors.New("boom")
+	r.Register(EvDeadlock, func(*Info) error { order = append(order, 1); return nil })
+	r.Register(EvDeadlock, func(*Info) error { order = append(order, 2); return boom })
+	r.Register(EvDeadlock, func(*Info) error { order = append(order, 3); return nil })
+	err := r.Fire(EvDeadlock, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTransformHook(t *testing.T) {
+	// The compression use case from §2.4: a flush hook rewrites the bytes.
+	r := NewRegistry()
+	r.Register(EvObjectFlush, func(i *Info) error {
+		// "Compress" by run-length trimming trailing zeros.
+		b := bytes.TrimRight(*i.Data, "\x00")
+		*i.Data = b
+		return nil
+	})
+	data := append([]byte("payload"), make([]byte, 100)...)
+	if err := r.FireData(EvObjectFlush, nil, &data); err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "payload" {
+		t.Fatalf("transformed data = %q", data)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register(numEvents, func(*Info) error { return nil }); err == nil {
+		t.Fatal("bad event accepted")
+	}
+	if _, err := r.Register(EvTxBegin, nil); err == nil {
+		t.Fatal("nil hook accepted")
+	}
+	if err := r.Fire(numEvents, nil); err == nil {
+		t.Fatal("bad event fired")
+	}
+	r.Unregister(999) // no-op
+	if r.Count(numEvents) != 0 || r.Fired(numEvents) != 0 {
+		t.Fatal("bad event counters")
+	}
+}
+
+func TestPayloadDelivery(t *testing.T) {
+	r := NewRegistry()
+	var got any
+	r.Register(EvSegmentFault, func(i *Info) error {
+		got = i.Payload
+		if i.Event != EvSegmentFault {
+			t.Errorf("event = %v", i.Event)
+		}
+		return nil
+	})
+	r.Fire(EvSegmentFault, "seg-1:10")
+	if got != "seg-1:10" {
+		t.Fatalf("payload = %v", got)
+	}
+}
+
+func TestEventStrings(t *testing.T) {
+	if EvDatabaseOpen.String() != "database-open" || EvProtViolation.String() != "prot-violation" {
+		t.Fatal("event strings")
+	}
+	if Event(200).String() == "" {
+		t.Fatal("unknown event string empty")
+	}
+}

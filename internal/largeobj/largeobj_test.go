@@ -1,0 +1,450 @@
+package largeobj
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"bess/internal/area"
+	"bess/internal/page"
+)
+
+func newStore(t *testing.T) *AreaStore {
+	t.Helper()
+	a, err := area.NewMem(1, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &AreaStore{A: a}
+}
+
+func create(t *testing.T, hint int64) *Object {
+	t.Helper()
+	o, err := Create(newStore(t), hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func readAll(t *testing.T, o *Object) []byte {
+	t.Helper()
+	buf := make([]byte, o.Size())
+	if err := o.Read(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// pattern produces deterministic but position-distinct bytes.
+func pattern(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = seed + byte(i*7)
+	}
+	return b
+}
+
+func TestAppendAndRead(t *testing.T) {
+	o := create(t, 0)
+	data := pattern(100_000, 1)
+	if err := o.Append(data); err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 100_000 {
+		t.Fatalf("size = %d", o.Size())
+	}
+	if !bytes.Equal(readAll(t, o), data) {
+		t.Fatal("content mismatch")
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Partial read.
+	buf := make([]byte, 1000)
+	if err := o.Read(50_000, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[50_000:51_000]) {
+		t.Fatal("partial read mismatch")
+	}
+}
+
+func TestAppendFillsTail(t *testing.T) {
+	o := create(t, 0)
+	o.Append(pattern(100, 1))
+	segs := o.Segments()
+	o.Append(pattern(100, 2))
+	if o.Segments() != segs {
+		t.Fatalf("small appends allocated new segments: %d -> %d", segs, o.Segments())
+	}
+	want := append(pattern(100, 1), pattern(100, 2)...)
+	if !bytes.Equal(readAll(t, o), want) {
+		t.Fatal("content after tail fill")
+	}
+}
+
+func TestWriteInPlace(t *testing.T) {
+	o := create(t, 0)
+	o.Append(pattern(200_000, 1))
+	patch := pattern(5000, 9)
+	if err := o.Write(70_000, patch); err != nil {
+		t.Fatal(err)
+	}
+	got := readAll(t, o)
+	want := pattern(200_000, 1)
+	copy(want[70_000:], patch)
+	if !bytes.Equal(got, want) {
+		t.Fatal("overwrite mismatch")
+	}
+	if o.Size() != 200_000 {
+		t.Fatalf("size changed: %d", o.Size())
+	}
+}
+
+func TestWriteExtends(t *testing.T) {
+	o := create(t, 0)
+	o.Append(pattern(1000, 1))
+	if err := o.Write(500, pattern(1000, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 1500 {
+		t.Fatalf("size = %d", o.Size())
+	}
+	want := append(pattern(1000, 1)[:500], pattern(1000, 2)...)
+	if !bytes.Equal(readAll(t, o), want) {
+		t.Fatal("extend-write mismatch")
+	}
+}
+
+func TestInsertMiddle(t *testing.T) {
+	o := create(t, 0)
+	base := pattern(150_000, 1)
+	o.Append(base)
+	ins := pattern(10_000, 5)
+	if err := o.Insert(60_000, ins); err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 160_000 {
+		t.Fatalf("size = %d", o.Size())
+	}
+	want := append(append(append([]byte{}, base[:60_000]...), ins...), base[60_000:]...)
+	if !bytes.Equal(readAll(t, o), want) {
+		t.Fatal("insert mismatch")
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertTouchesFewSegments(t *testing.T) {
+	o := create(t, 0)
+	o.Append(pattern(64*DefaultSegmentBytes, 1)) // 64 segments, 4MB
+	r0, w0, _, _ := o.Stats()
+	if err := o.Insert(int64(30*DefaultSegmentBytes+1234), pattern(100, 7)); err != nil {
+		t.Fatal(err)
+	}
+	r1, w1, _, _ := o.Stats()
+	// The edit reads the host segment once and writes a handful of
+	// segments, regardless of the 4MB object size.
+	if r1-r0 > 3 || w1-w0 > 5 {
+		t.Fatalf("insert did %d reads, %d writes", r1-r0, w1-w0)
+	}
+}
+
+func TestInsertAtBoundaryAndEnds(t *testing.T) {
+	o := create(t, 0)
+	o.Append(pattern(DefaultSegmentBytes, 1)) // exactly one full segment
+	// Insert at 0 (clean boundary).
+	if err := o.Insert(0, pattern(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Insert at end (append path).
+	if err := o.Insert(o.Size(), pattern(10, 3)); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append(pattern(10, 2), pattern(DefaultSegmentBytes, 1)...), pattern(10, 3)...)
+	if !bytes.Equal(readAll(t, o), want) {
+		t.Fatal("boundary insert mismatch")
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRanges(t *testing.T) {
+	o := create(t, 0)
+	base := pattern(200_000, 1)
+	o.Append(base)
+	// Delete a range spanning several segments; it fully covers the second
+	// 64KB segment (bytes 65536..131072), which must be freed.
+	if err := o.Delete(50_000, 90_000); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, base[:50_000]...), base[140_000:]...)
+	if o.Size() != int64(len(want)) {
+		t.Fatalf("size = %d, want %d", o.Size(), len(want))
+	}
+	if !bytes.Equal(readAll(t, o), want) {
+		t.Fatal("delete mismatch")
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting fully-covered segments freed disk space.
+	_, _, allocs, frees := o.Stats()
+	if frees == 0 || frees >= allocs {
+		t.Fatalf("allocs=%d frees=%d", allocs, frees)
+	}
+}
+
+func TestDeleteWithinOneSegment(t *testing.T) {
+	o := create(t, 0)
+	base := pattern(10_000, 1)
+	o.Append(base)
+	if err := o.Delete(100, 50); err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]byte{}, base[:100]...), base[150:]...)
+	if !bytes.Equal(readAll(t, o), want) {
+		t.Fatal("intra-segment delete mismatch")
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	o := create(t, 0)
+	o.Append(pattern(100_000, 1))
+	if err := o.Truncate(1234); err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 1234 {
+		t.Fatalf("size = %d", o.Size())
+	}
+	if !bytes.Equal(readAll(t, o), pattern(100_000, 1)[:1234]) {
+		t.Fatal("truncate mismatch")
+	}
+	if err := o.Truncate(0); err != nil {
+		t.Fatal(err)
+	}
+	if o.Size() != 0 || o.Segments() != 0 {
+		t.Fatalf("empty object: size=%d segs=%d", o.Size(), o.Segments())
+	}
+}
+
+func TestBoundsChecked(t *testing.T) {
+	o := create(t, 0)
+	o.Append(pattern(100, 1))
+	if err := o.Read(50, make([]byte, 100)); err != ErrBadRange {
+		t.Fatalf("over-read: %v", err)
+	}
+	if err := o.Read(-1, make([]byte, 1)); err != ErrBadRange {
+		t.Fatalf("negative read: %v", err)
+	}
+	if err := o.Write(200, []byte{1}); err != ErrBadRange {
+		t.Fatalf("write past size: %v", err)
+	}
+	if err := o.Insert(101, []byte{1}); err != ErrBadRange {
+		t.Fatalf("insert past size: %v", err)
+	}
+	if err := o.Delete(90, 20); err != ErrBadRange {
+		t.Fatalf("delete past size: %v", err)
+	}
+	if err := o.Truncate(200); err != ErrBadRange {
+		t.Fatalf("truncate up: %v", err)
+	}
+}
+
+func TestSizeHint(t *testing.T) {
+	small, _ := Create(newStore(t), 0)
+	big, _ := Create(newStore(t), 256<<20) // 256MB hint
+	if big.SegmentBytes() <= small.SegmentBytes() {
+		t.Fatalf("hint ignored: %d vs %d", big.SegmentBytes(), small.SegmentBytes())
+	}
+	if _, err := Create(newStore(t), -1); err != ErrBadHint {
+		t.Fatalf("negative hint: %v", err)
+	}
+	// Hint is clamped to the maximum segment.
+	huge, _ := Create(newStore(t), 1<<40)
+	if huge.SegmentBytes() > (page.PerExtent/2)*page.Size {
+		t.Fatalf("hint not clamped: %d", huge.SegmentBytes())
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	st := newStore(t)
+	o, _ := Create(st, 0)
+	base := pattern(123_456, 3)
+	o.Append(base)
+	o.Insert(1000, pattern(500, 8))
+	o.Delete(50_000, 10_000)
+	want := readAll(t, o)
+
+	desc := o.EncodeDescriptor()
+	o2, err := Open(st, desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o2.Size() != int64(len(want)) {
+		t.Fatalf("reopened size = %d", o2.Size())
+	}
+	if !bytes.Equal(readAll(t, o2), want) {
+		t.Fatal("reopened content mismatch")
+	}
+	if err := o2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Continue mutating the reopened object.
+	if err := o2.Append(pattern(100, 9)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenRejectsCorruption(t *testing.T) {
+	st := newStore(t)
+	o, _ := Create(st, 0)
+	o.Append(pattern(1000, 1))
+	desc := o.EncodeDescriptor()
+	bad := append([]byte{}, desc...)
+	bad[0] = 0
+	if _, err := Open(st, bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	short := desc[:10]
+	if _, err := Open(st, short); err == nil {
+		t.Fatal("short descriptor accepted")
+	}
+	// Size mismatch.
+	bad2 := append([]byte{}, desc...)
+	bad2[15] ^= 0x01
+	if _, err := Open(st, bad2); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}
+
+func TestDestroy(t *testing.T) {
+	st := newStore(t)
+	freeBefore := st.A.FreePages()
+	o, _ := Create(st, 0)
+	o.Append(pattern(500_000, 1))
+	if st.A.FreePages() >= freeBefore {
+		t.Fatal("no pages allocated")
+	}
+	if err := o.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	if st.A.FreePages() != freeBefore {
+		t.Fatalf("pages leaked: %d vs %d", st.A.FreePages(), freeBefore)
+	}
+	if err := o.Append([]byte{1}); err != ErrDestroyed {
+		t.Fatalf("use after destroy: %v", err)
+	}
+}
+
+func TestDeepTree(t *testing.T) {
+	o := create(t, 0)
+	o.SetFanout(4) // force depth quickly
+	for i := 0; i < 200; i++ {
+		if err := o.Insert(int64(i*3%max(1, int(o.Size()))), pattern(100, byte(i))); err != nil {
+			// Position may be invalid when size is 0; use append.
+			if err := o.Append(pattern(100, byte(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if o.Depth() < 3 {
+		t.Fatalf("depth = %d, expected a real tree", o.Depth())
+	}
+	if err := o.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestModelEquivalence drives random byte-range operations against both the
+// large object and a plain []byte model — the E5 correctness property.
+func TestModelEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		o := create(t, 0)
+		if seed%2 == 1 {
+			o.SetFanout(4)
+		}
+		var model []byte
+		for op := 0; op < 120; op++ {
+			switch rng.Intn(5) {
+			case 0: // append
+				d := pattern(rng.Intn(20_000), byte(op))
+				if err := o.Append(d); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model, d...)
+			case 1: // insert
+				if len(model) == 0 {
+					continue
+				}
+				pos := int64(rng.Intn(len(model) + 1))
+				d := pattern(rng.Intn(10_000), byte(op))
+				if err := o.Insert(pos, d); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model[:pos:pos], append(append([]byte{}, d...), model[pos:]...)...)
+			case 2: // delete
+				if len(model) == 0 {
+					continue
+				}
+				pos := rng.Intn(len(model))
+				n := rng.Intn(len(model) - pos)
+				if err := o.Delete(int64(pos), int64(n)); err != nil {
+					t.Fatal(err)
+				}
+				model = append(model[:pos:pos], model[pos+n:]...)
+			case 3: // overwrite
+				if len(model) == 0 {
+					continue
+				}
+				pos := rng.Intn(len(model))
+				n := rng.Intn(min(8000, len(model)-pos))
+				d := pattern(n, byte(op+13))
+				if err := o.Write(int64(pos), d); err != nil {
+					t.Fatal(err)
+				}
+				copy(model[pos:], d)
+			case 4: // read check of a random window
+				if o.Size() != int64(len(model)) {
+					t.Fatalf("seed %d op %d: size %d vs model %d", seed, op, o.Size(), len(model))
+				}
+				if len(model) == 0 {
+					continue
+				}
+				pos := rng.Intn(len(model))
+				n := rng.Intn(min(10_000, len(model)-pos))
+				buf := make([]byte, n)
+				if err := o.Read(int64(pos), buf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(buf, model[pos:pos+n]) {
+					t.Fatalf("seed %d op %d: window mismatch at %d+%d", seed, op, pos, n)
+				}
+			}
+		}
+		if err := o.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(readAll(t, o), model) {
+			t.Fatalf("seed %d: final content mismatch (size %d vs %d)", seed, o.Size(), len(model))
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,484 @@
+// Package lock implements the BeSS lock manager: hierarchical lock modes,
+// blocking acquisition with timeouts, waits-for deadlock detection, and
+// strict two-phase locking release (paper §3: "The strict two phase locking
+// algorithm is used for concurrency control", with timeouts used for
+// distributed deadlock detection).
+//
+// The same manager serves page-level locks acquired automatically by the
+// update-detection layer (§2.3) and the software object-level locks of [27].
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes: intention share/exclusive, share, share+intention-exclusive,
+// exclusive.
+const (
+	None Mode = iota
+	IS
+	IX
+	S
+	SIX
+	X
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case SIX:
+		return "SIX"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// compatible reports whether two granted modes may coexist.
+func compatible(a, b Mode) bool {
+	switch a {
+	case None:
+		return true
+	case IS:
+		return b != X
+	case IX:
+		return b == None || b == IS || b == IX
+	case S:
+		return b == None || b == IS || b == S
+	case SIX:
+		return b == None || b == IS
+	case X:
+		return b == None
+	}
+	return false
+}
+
+// Compatible is the exported compatibility predicate (tests, server layer).
+func Compatible(a, b Mode) bool { return compatible(a, b) }
+
+// sup returns the least mode covering both a and b (lock upgrade lattice).
+func sup(a, b Mode) Mode {
+	if a == b {
+		return a
+	}
+	if a > b {
+		a, b = b, a
+	}
+	switch {
+	case a == None:
+		return b
+	case a == IS:
+		return b // IS is below everything else
+	case a == IX && b == S, a == S && b == IX:
+		return SIX
+	case a == IX && (b == SIX || b == X):
+		return b
+	case a == S && (b == SIX || b == X):
+		return b
+	case a == SIX && b == X:
+		return X
+	}
+	return X
+}
+
+// Sup is the exported upgrade lattice join.
+func Sup(a, b Mode) Mode { return sup(a, b) }
+
+// TxID identifies a lock owner (a transaction).
+type TxID uint64
+
+// Kind partitions the lock name space.
+type Kind uint8
+
+// Lock name kinds, from coarse to fine.
+const (
+	KindDatabase Kind = iota
+	KindFile
+	KindSegment
+	KindPage
+	KindObject
+)
+
+// Name is a lockable resource name.
+type Name struct {
+	Kind       Kind
+	Q0, Q1, Q2 uint64
+}
+
+// String renders the name for diagnostics.
+func (n Name) String() string {
+	return fmt.Sprintf("%d/%d.%d.%d", n.Kind, n.Q0, n.Q1, n.Q2)
+}
+
+// Errors returned by Acquire.
+var (
+	ErrDeadlock = errors.New("lock: deadlock detected")
+	ErrTimeout  = errors.New("lock: acquisition timed out")
+	ErrClosed   = errors.New("lock: manager closed")
+)
+
+type waiter struct {
+	tx   TxID
+	mode Mode
+	ch   chan error
+}
+
+type head struct {
+	granted map[TxID]Mode
+	queue   []*waiter
+}
+
+// Stats are cumulative lock-manager counters.
+type Stats struct {
+	Acquires  int64
+	Blocks    int64
+	Deadlocks int64
+	Timeouts  int64
+	Upgrades  int64
+}
+
+// Manager is a lock manager. Safe for concurrent use.
+type Manager struct {
+	mu     sync.Mutex
+	locks  map[Name]*head
+	byTx   map[TxID]map[Name]Mode
+	waits  map[TxID]Name // tx → name it is blocked on
+	closed bool
+	stats  Stats
+
+	// DefaultTimeout bounds Acquire when the context has no deadline;
+	// zero means wait forever (deadlock detection still applies).
+	DefaultTimeout time.Duration
+}
+
+// NewManager returns an empty lock manager.
+func NewManager() *Manager {
+	return &Manager{
+		locks: make(map[Name]*head),
+		byTx:  make(map[TxID]map[Name]Mode),
+		waits: make(map[TxID]Name),
+	}
+}
+
+// Acquire obtains (or upgrades to) mode on name for tx, blocking until
+// granted, deadlock, or timeout (0 = DefaultTimeout; negative = no wait).
+func (m *Manager) Acquire(tx TxID, name Name, mode Mode, timeout time.Duration) error {
+	if timeout == 0 {
+		timeout = m.DefaultTimeout
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	m.stats.Acquires++
+	h := m.locks[name]
+	if h == nil {
+		h = &head{granted: make(map[TxID]Mode)}
+		m.locks[name] = h
+	}
+	cur := h.granted[tx]
+	want := sup(cur, mode)
+	if want == cur {
+		m.mu.Unlock()
+		return nil // already held
+	}
+	if cur != None {
+		m.stats.Upgrades++
+	}
+	if m.grantable(h, tx, want) {
+		m.grantLocked(h, tx, name, want)
+		m.mu.Unlock()
+		return nil
+	}
+	if timeout < 0 {
+		m.mu.Unlock()
+		return ErrTimeout
+	}
+	// Block. First check for a deadlock this wait would create.
+	w := &waiter{tx: tx, mode: want, ch: make(chan error, 1)}
+	h.queue = append(h.queue, w)
+	m.waits[tx] = name
+	if m.cycleFrom(tx) {
+		m.removeWaiter(h, w)
+		delete(m.waits, tx)
+		m.stats.Deadlocks++
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	m.stats.Blocks++
+	m.mu.Unlock()
+
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		timeoutCh = timer.C
+		defer timer.Stop()
+	}
+	select {
+	case err := <-w.ch:
+		return err
+	case <-timeoutCh:
+		m.mu.Lock()
+		// Re-check: the grant may have raced the timer.
+		select {
+		case err := <-w.ch:
+			m.mu.Unlock()
+			return err
+		default:
+		}
+		m.removeWaiter(h, w)
+		delete(m.waits, tx)
+		m.stats.Timeouts++
+		m.mu.Unlock()
+		return ErrTimeout
+	}
+}
+
+// grantable reports whether tx may hold `want` on h given other grants.
+func (m *Manager) grantable(h *head, tx TxID, want Mode) bool {
+	for other, om := range h.granted {
+		if other == tx {
+			continue
+		}
+		if !compatible(want, om) {
+			return false
+		}
+	}
+	// FIFO fairness: a fresh request must also not jump a compatible queue
+	// unless it is an upgrade (upgrades get priority to avoid upgrade
+	// deadlocks stalling forever behind new arrivals).
+	if _, upgrading := h.granted[tx]; !upgrading {
+		for _, w := range h.queue {
+			if w.tx != tx && !compatible(want, w.mode) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *Manager) grantLocked(h *head, tx TxID, name Name, mode Mode) {
+	h.granted[tx] = mode
+	owned := m.byTx[tx]
+	if owned == nil {
+		owned = make(map[Name]Mode)
+		m.byTx[tx] = owned
+	}
+	owned[name] = mode
+}
+
+func (m *Manager) removeWaiter(h *head, w *waiter) {
+	for i, q := range h.queue {
+		if q == w {
+			h.queue = append(h.queue[:i:i], h.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// wake re-examines a head's queue after a release, granting in FIFO order.
+func (m *Manager) wakeLocked(name Name, h *head) {
+	for len(h.queue) > 0 {
+		w := h.queue[0]
+		cur := h.granted[w.tx]
+		want := sup(cur, w.mode)
+		ok := true
+		for other, om := range h.granted {
+			if other != w.tx && !compatible(want, om) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			return
+		}
+		h.queue = h.queue[1:]
+		delete(m.waits, w.tx)
+		m.grantLocked(h, w.tx, name, want)
+		w.ch <- nil
+	}
+}
+
+// Release drops tx's lock on name (rare; strict 2PL normally releases all at
+// end of transaction).
+func (m *Manager) Release(tx TxID, name Name) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.releaseLocked(tx, name)
+}
+
+func (m *Manager) releaseLocked(tx TxID, name Name) {
+	h := m.locks[name]
+	if h == nil {
+		return
+	}
+	if _, held := h.granted[tx]; !held {
+		return
+	}
+	delete(h.granted, tx)
+	if owned := m.byTx[tx]; owned != nil {
+		delete(owned, name)
+		if len(owned) == 0 {
+			delete(m.byTx, tx)
+		}
+	}
+	m.wakeLocked(name, h)
+	if len(h.granted) == 0 && len(h.queue) == 0 {
+		delete(m.locks, name)
+	}
+}
+
+// ReleaseAll drops every lock tx holds (commit/abort under strict 2PL).
+func (m *Manager) ReleaseAll(tx TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	owned := m.byTx[tx]
+	names := make([]Name, 0, len(owned))
+	for n := range owned {
+		names = append(names, n)
+	}
+	for _, n := range names {
+		m.releaseLocked(tx, n)
+	}
+}
+
+// Holds returns the mode tx holds on name (None if not held).
+func (m *Manager) Holds(tx TxID, name Name) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.locks[name]; h != nil {
+		return h.granted[tx]
+	}
+	return None
+}
+
+// Owned returns a copy of tx's lock table.
+func (m *Manager) Owned(tx TxID) map[Name]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[Name]Mode, len(m.byTx[tx]))
+	for n, md := range m.byTx[tx] {
+		out[n] = md
+	}
+	return out
+}
+
+// Holders returns the transactions with a granted lock on name.
+func (m *Manager) Holders(name Name) []TxID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.locks[name]
+	if h == nil {
+		return nil
+	}
+	out := make([]TxID, 0, len(h.granted))
+	for tx := range h.granted {
+		out = append(out, tx)
+	}
+	return out
+}
+
+// cycleFrom reports whether the waits-for graph has a cycle reachable from
+// start. Called with m.mu held.
+func (m *Manager) cycleFrom(start TxID) bool {
+	// Edges: waiter → every holder of an incompatible grant on the awaited
+	// name, and → incompatible waiters queued ahead of it.
+	visited := map[TxID]bool{}
+	var dfs func(tx TxID) bool
+	dfs = func(tx TxID) bool {
+		name, waiting := m.waits[tx]
+		if !waiting {
+			return false
+		}
+		h := m.locks[name]
+		if h == nil {
+			return false
+		}
+		var mode Mode
+		for _, w := range h.queue {
+			if w.tx == tx {
+				mode = w.mode
+				break
+			}
+		}
+		for other, om := range h.granted {
+			if other == tx || compatible(mode, om) {
+				continue
+			}
+			if other == start {
+				return true
+			}
+			if !visited[other] {
+				visited[other] = true
+				if dfs(other) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	visited[start] = true
+	return dfs(start)
+}
+
+// Snapshot returns the cumulative statistics.
+func (m *Manager) Snapshot() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Close fails all waiters and rejects further acquisitions.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, h := range m.locks {
+		for _, w := range h.queue {
+			w.ch <- ErrClosed
+		}
+		h.queue = nil
+	}
+}
+
+// --- Name helpers used across layers ---
+
+// PageName builds the canonical lock name for a data page.
+func PageName(area uint32, segStart int64, pageIdx int) Name {
+	return Name{Kind: KindPage, Q0: uint64(area), Q1: uint64(segStart), Q2: uint64(pageIdx)}
+}
+
+// ObjectName builds the canonical lock name for object-level locking [27].
+func ObjectName(area uint32, segStart int64, slot int) Name {
+	return Name{Kind: KindObject, Q0: uint64(area), Q1: uint64(segStart), Q2: uint64(slot)}
+}
+
+// FileName builds the lock name for a BeSS file.
+func FileName(db uint32, file uint32) Name {
+	return Name{Kind: KindFile, Q0: uint64(db), Q1: uint64(file)}
+}
+
+// DatabaseName builds the lock name for a whole database.
+func DatabaseName(db uint32) Name {
+	return Name{Kind: KindDatabase, Q0: uint64(db)}
+}

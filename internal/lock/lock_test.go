@@ -1,0 +1,344 @@
+package lock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var res = Name{Kind: KindPage, Q0: 1, Q1: 10, Q2: 0}
+
+func TestCompatibilityMatrix(t *testing.T) {
+	// Classic matrix: rows requested, columns held.
+	want := map[[2]Mode]bool{
+		{IS, IS}: true, {IS, IX}: true, {IS, S}: true, {IS, SIX}: true, {IS, X}: false,
+		{IX, IS}: true, {IX, IX}: true, {IX, S}: false, {IX, SIX}: false, {IX, X}: false,
+		{S, IS}: true, {S, IX}: false, {S, S}: true, {S, SIX}: false, {S, X}: false,
+		{SIX, IS}: true, {SIX, IX}: false, {SIX, S}: false, {SIX, SIX}: false, {SIX, X}: false,
+		{X, IS}: false, {X, IX}: false, {X, S}: false, {X, SIX}: false, {X, X}: false,
+	}
+	for pair, ok := range want {
+		if Compatible(pair[0], pair[1]) != ok {
+			t.Errorf("Compatible(%v,%v) != %v", pair[0], pair[1], ok)
+		}
+		// Matrix is symmetric.
+		if Compatible(pair[1], pair[0]) != ok {
+			t.Errorf("Compatible(%v,%v) asymmetric", pair[1], pair[0])
+		}
+	}
+}
+
+func TestSupLattice(t *testing.T) {
+	cases := []struct{ a, b, want Mode }{
+		{None, S, S}, {IS, IX, IX}, {S, IX, SIX}, {IX, S, SIX},
+		{S, S, S}, {S, X, X}, {SIX, IX, SIX}, {SIX, X, X}, {IS, S, S},
+	}
+	for _, c := range cases {
+		if got := Sup(c.a, c.b); got != c.want {
+			t.Errorf("Sup(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if Sup(c.b, c.a) != Sup(c.a, c.b) {
+			t.Errorf("Sup(%v,%v) not commutative", c.a, c.b)
+		}
+	}
+}
+
+func TestSharedThenExclusiveBlocks(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire(1, res, S, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, res, S, 0); err != nil {
+		t.Fatal(err)
+	}
+	// X must block; no-wait returns timeout.
+	if err := m.Acquire(3, res, X, -1); err != ErrTimeout {
+		t.Fatalf("no-wait X: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(3, res, X, time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	m.ReleaseAll(1)
+	select {
+	case err := <-done:
+		t.Fatalf("X granted with S still held: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatalf("X after releases: %v", err)
+	}
+	if m.Holds(3, res) != X {
+		t.Fatal("holder table wrong")
+	}
+}
+
+func TestReacquireIsNoop(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, res, S, 0)
+	if err := m.Acquire(1, res, S, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, res, IS, 0); err != nil {
+		t.Fatal(err) // covered by S already
+	}
+	if m.Holds(1, res) != S {
+		t.Fatalf("mode = %v", m.Holds(1, res))
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, res, S, 0)
+	if err := m.Acquire(1, res, X, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Holds(1, res) != X {
+		t.Fatalf("mode = %v", m.Holds(1, res))
+	}
+	if m.Snapshot().Upgrades != 1 {
+		t.Fatalf("upgrades = %d", m.Snapshot().Upgrades)
+	}
+}
+
+func TestUpgradeWaitsForOtherReader(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, res, S, 0)
+	m.Acquire(2, res, S, 0)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(1, res, X, time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("upgrade granted while another S held")
+	default:
+	}
+	m.ReleaseAll(2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := NewManager()
+	a := Name{Kind: KindPage, Q0: 1}
+	b := Name{Kind: KindPage, Q0: 2}
+	m.Acquire(1, a, X, 0)
+	m.Acquire(2, b, X, 0)
+	errCh := make(chan error, 1)
+	go func() { errCh <- m.Acquire(1, b, X, time.Second) }()
+	time.Sleep(20 * time.Millisecond) // let tx1 block on b
+	// tx2 requesting a closes the cycle; it must get ErrDeadlock.
+	err := m.Acquire(2, a, X, time.Second)
+	if err != ErrDeadlock {
+		t.Fatalf("cycle request: %v", err)
+	}
+	if m.Snapshot().Deadlocks != 1 {
+		t.Fatalf("deadlocks = %d", m.Snapshot().Deadlocks)
+	}
+	// Victim aborts, releasing its locks; tx1 proceeds.
+	m.ReleaseAll(2)
+	if err := <-errCh; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+	m.ReleaseAll(1)
+}
+
+func TestUpgradeDeadlock(t *testing.T) {
+	// Two readers both upgrading to X on the same name is the classic
+	// upgrade deadlock.
+	m := NewManager()
+	m.Acquire(1, res, S, 0)
+	m.Acquire(2, res, S, 0)
+	errCh := make(chan error, 1)
+	go func() { errCh <- m.Acquire(1, res, X, time.Second) }()
+	time.Sleep(20 * time.Millisecond)
+	err := m.Acquire(2, res, X, time.Second)
+	if err != ErrDeadlock {
+		t.Fatalf("second upgrader: %v", err)
+	}
+	m.ReleaseAll(2)
+	if err := <-errCh; err != nil {
+		t.Fatalf("first upgrader: %v", err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, res, X, 0)
+	start := time.Now()
+	err := m.Acquire(2, res, X, 30*time.Millisecond)
+	if err != ErrTimeout {
+		t.Fatalf("got %v", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("returned before timeout")
+	}
+	if m.Snapshot().Timeouts != 1 {
+		t.Fatalf("timeouts = %d", m.Snapshot().Timeouts)
+	}
+	// The timed-out waiter is gone: release and verify no phantom grant.
+	m.ReleaseAll(1)
+	if got := m.Holds(2, res); got != None {
+		t.Fatalf("phantom grant %v", got)
+	}
+}
+
+func TestDefaultTimeout(t *testing.T) {
+	m := NewManager()
+	m.DefaultTimeout = 20 * time.Millisecond
+	m.Acquire(1, res, X, 0)
+	if err := m.Acquire(2, res, S, 0); err != ErrTimeout {
+		t.Fatalf("default timeout: %v", err)
+	}
+}
+
+func TestFIFOFairnessPreventsWriterStarvation(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, res, S, 0)
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- m.Acquire(2, res, X, time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	// A new reader must queue behind the waiting writer, not jump it.
+	readerDone := make(chan error, 1)
+	go func() { readerDone <- m.Acquire(3, res, S, time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-readerDone:
+		t.Fatal("reader jumped the writer queue")
+	default:
+	}
+	m.ReleaseAll(1)
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(2)
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseAllWakesWaiters(t *testing.T) {
+	m := NewManager()
+	names := []Name{{Kind: KindPage, Q0: 1}, {Kind: KindPage, Q0: 2}, {Kind: KindPage, Q0: 3}}
+	for _, n := range names {
+		m.Acquire(1, n, X, 0)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(names))
+	for i, n := range names {
+		wg.Add(1)
+		go func(i int, n Name) {
+			defer wg.Done()
+			errs[i] = m.Acquire(TxID(10+i), n, X, time.Second)
+		}(i, n)
+	}
+	time.Sleep(20 * time.Millisecond)
+	m.ReleaseAll(1)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if len(m.Owned(1)) != 0 {
+		t.Fatal("owner table not cleared")
+	}
+}
+
+func TestIntentionModes(t *testing.T) {
+	m := NewManager()
+	f := FileName(1, 1)
+	// Two writers intending on the same file coexist.
+	if err := m.Acquire(1, f, IX, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, f, IX, 0); err != nil {
+		t.Fatal(err)
+	}
+	// A whole-file S lock conflicts with IX.
+	if err := m.Acquire(3, f, S, -1); err != ErrTimeout {
+		t.Fatalf("S vs IX: %v", err)
+	}
+	// But IS coexists with IX.
+	if err := m.Acquire(4, f, IS, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoldersAndNames(t *testing.T) {
+	m := NewManager()
+	m.Acquire(7, res, S, 0)
+	hs := m.Holders(res)
+	if len(hs) != 1 || hs[0] != 7 {
+		t.Fatalf("holders = %v", hs)
+	}
+	if m.Holders(Name{Kind: KindFile}) != nil {
+		t.Fatal("phantom holders")
+	}
+	if PageName(1, 10, 3) == ObjectName(1, 10, 3) {
+		t.Fatal("page and object names collide")
+	}
+	if DatabaseName(1) == FileName(1, 0) {
+		t.Fatal("db and file names collide")
+	}
+}
+
+func TestClose(t *testing.T) {
+	m := NewManager()
+	m.Acquire(1, res, X, 0)
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(2, res, X, time.Second) }()
+	time.Sleep(10 * time.Millisecond)
+	m.Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("waiter on close: %v", err)
+	}
+	if err := m.Acquire(3, res, S, 0); err != ErrClosed {
+		t.Fatalf("acquire after close: %v", err)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	m := NewManager()
+	const goroutines = 16
+	const iters = 200
+	names := []Name{{Kind: KindPage, Q0: 1}, {Kind: KindPage, Q0: 2}, {Kind: KindPage, Q0: 3}}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(tx TxID) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				n := names[i%len(names)]
+				mode := S
+				if i%5 == 0 {
+					mode = X
+				}
+				err := m.Acquire(tx, n, mode, 250*time.Millisecond)
+				if err == ErrDeadlock || err == ErrTimeout {
+					m.ReleaseAll(tx)
+					continue
+				}
+				if err != nil {
+					t.Errorf("tx %d: %v", tx, err)
+					return
+				}
+				m.ReleaseAll(tx)
+			}
+		}(TxID(g + 1))
+	}
+	wg.Wait()
+	// Everything must be released.
+	for _, n := range names {
+		if hs := m.Holders(n); len(hs) != 0 {
+			t.Fatalf("leftover holders on %v: %v", n, hs)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if X.String() != "X" || SIX.String() != "SIX" || None.String() != "none" {
+		t.Fatal("mode strings")
+	}
+}

@@ -1,0 +1,133 @@
+package names
+
+import (
+	"testing"
+
+	"bess/internal/oid"
+)
+
+func o(n uint64) oid.OID { return oid.OID{Host: 1, DB: 1, Offset: n, Unique: 0} }
+
+func TestBindLookup(t *testing.T) {
+	d := New()
+	if err := d.Bind("root", o(1)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.Lookup("root")
+	if err != nil || got != o(1) {
+		t.Fatalf("lookup = %v, %v", got, err)
+	}
+	if _, err := d.Lookup("missing"); err != ErrNotFound {
+		t.Fatalf("missing: %v", err)
+	}
+	name, ok := d.NameOf(o(1))
+	if !ok || name != "root" {
+		t.Fatalf("NameOf = %q, %v", name, ok)
+	}
+	if _, ok := d.NameOf(o(9)); ok {
+		t.Fatal("phantom NameOf")
+	}
+}
+
+func TestBindConstraints(t *testing.T) {
+	d := New()
+	d.Bind("a", o(1))
+	if err := d.Bind("a", o(2)); err != ErrExists {
+		t.Fatalf("dup name: %v", err)
+	}
+	if err := d.Bind("b", o(1)); err != ErrExists {
+		t.Fatalf("dup oid: %v", err)
+	}
+	if err := d.Bind("", o(3)); err != ErrBadName {
+		t.Fatalf("empty name: %v", err)
+	}
+	if err := d.Bind("n", oid.Nil); err != ErrNilOID {
+		t.Fatalf("nil oid: %v", err)
+	}
+}
+
+func TestUnbind(t *testing.T) {
+	d := New()
+	d.Bind("a", o(1))
+	if err := d.Unbind("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Unbind("a"); err != ErrNotFound {
+		t.Fatalf("double unbind: %v", err)
+	}
+	// Both directions cleared; rebinding works.
+	if err := d.Bind("a2", o(1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	d := New()
+	d.Bind("doomed", o(5))
+	if !d.ObjectRemoved(o(5)) {
+		t.Fatal("removal not reported")
+	}
+	if _, err := d.Lookup("doomed"); err != ErrNotFound {
+		t.Fatal("name survives object removal")
+	}
+	if d.ObjectRemoved(o(5)) {
+		t.Fatal("second removal reported")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	d := New()
+	d.Bind("zebra", o(1))
+	d.Bind("apple", o(2))
+	d.Bind("mango", o(3))
+	ns := d.Names()
+	if len(ns) != 3 || ns[0] != "apple" || ns[2] != "zebra" {
+		t.Fatalf("names = %v", ns)
+	}
+	if d.Len() != 3 {
+		t.Fatalf("len = %d", d.Len())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := New()
+	d.Bind("alpha", o(10))
+	d.Bind("beta", oid.OID{Host: 2, DB: 3, Offset: 4, Unique: 5})
+	if !d.Dirty() {
+		t.Fatal("not dirty after bind")
+	}
+	enc := d.Encode()
+	if d.Dirty() {
+		t.Fatal("dirty after encode")
+	}
+	d2, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Len() != 2 {
+		t.Fatalf("len = %d", d2.Len())
+	}
+	got, _ := d2.Lookup("beta")
+	if got != (oid.OID{Host: 2, DB: 3, Offset: 4, Unique: 5}) {
+		t.Fatalf("beta = %v", got)
+	}
+	// Deterministic encoding.
+	if string(enc) != string(d2.Encode()) {
+		t.Fatal("encoding not canonical")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err != ErrCorrupt {
+		t.Fatal("nil accepted")
+	}
+	if _, err := Decode([]byte{0, 0, 0, 5}); err != ErrCorrupt {
+		t.Fatal("truncated accepted")
+	}
+	d := New()
+	d.Bind("x", o(1))
+	enc := d.Encode()
+	if _, err := Decode(enc[:len(enc)-2]); err != ErrCorrupt {
+		t.Fatal("truncated tail accepted")
+	}
+}

@@ -1,0 +1,271 @@
+package nodeserver
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"bess/internal/client"
+	"bess/internal/page"
+	"bess/internal/proto"
+	"bess/internal/rpc"
+	"bess/internal/segment"
+	"bess/internal/server"
+)
+
+var nodeType = segment.TypeDesc{Name: "Node", Size: 16, RefOffsets: []int{0}}
+
+func val(v uint64) []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint64(b[8:], v)
+	return b
+}
+
+// env builds server ← RPC ← node server.
+func env(t *testing.T) (*server.Server, *NodeServer) {
+	t.Helper()
+	srv := server.NewMem(1)
+	t.Cleanup(func() { srv.Close() })
+	cEnd, sEnd := rpc.Pipe()
+	server.ServePeer(srv, sEnd)
+	up := client.NewRemote(cEnd)
+	ns, err := New(up, "node-1", 32, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, ns
+}
+
+func TestLocalSessionsShareNodeCache(t *testing.T) {
+	_, ns := env(t)
+	s1, err := client.Open(ns, "app-A", "db", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, _ := s1.RegisterType(nodeType)
+	seg, _ := s1.CreateSegment(1, 1, 2, -1)
+	s1.Begin()
+	addr, err := s1.CreateObject(seg, td.ID, val(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.SetRoot("shared", addr)
+	if err := s1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	before := ns.Snapshot()
+	// Second local application: its fetch is served from the node cache,
+	// not upstream.
+	s2, err := client.Open(ns, "app-B", "db", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Begin()
+	obj, err := s2.Root("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [8]byte
+	obj.Read(8, b[:])
+	if binary.BigEndian.Uint64(b[:]) != 5 {
+		t.Fatalf("value = %d", binary.BigEndian.Uint64(b[:]))
+	}
+	s2.Commit()
+	after := ns.Snapshot()
+	if after.UpstreamFetches != before.UpstreamFetches {
+		t.Fatalf("node cache missed: %d -> %d upstream fetches", before.UpstreamFetches, after.UpstreamFetches)
+	}
+	if after.LocalHits <= before.LocalHits {
+		t.Fatal("no local hits recorded")
+	}
+}
+
+func TestIntraNodeInvalidation(t *testing.T) {
+	_, ns := env(t)
+	ns.RevokeTimeout = 300 * time.Millisecond
+	s1, _ := client.Open(ns, "writer", "db", true)
+	td, _ := s1.RegisterType(nodeType)
+	seg, _ := s1.CreateSegment(1, 1, 2, -1)
+	s1.Begin()
+	addr, _ := s1.CreateObject(seg, td.ID, val(1))
+	s1.SetRoot("x", addr)
+	s1.Commit()
+
+	s2, _ := client.Open(ns, "reader", "db", false)
+	s2.Begin()
+	if _, err := s2.Root("x"); err != nil {
+		t.Fatal(err)
+	}
+	s2.Commit() // idle copy
+
+	// Writer updates through the node: the reader's idle local copy drops.
+	s1.Begin()
+	obj, _ := s1.Deref(addr)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], 2)
+	if err := obj.Write(8, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Snapshot().LocalCallbacks == 0 {
+		t.Fatal("no local callbacks issued")
+	}
+
+	// Reader sees the committed value.
+	s2.Begin()
+	obj2, err := s2.Root("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2.Read(8, buf[:])
+	if binary.BigEndian.Uint64(buf[:]) != 2 {
+		t.Fatalf("reader sees %d", binary.BigEndian.Uint64(buf[:]))
+	}
+	s2.Commit()
+}
+
+func TestUpstreamCallbackReachesLocals(t *testing.T) {
+	srv, ns := env(t)
+	srv.CallbackTimeout = 500 * time.Millisecond
+	// A local session on the node caches the segment.
+	local, _ := client.Open(ns, "local", "db", true)
+	td, _ := local.RegisterType(nodeType)
+	seg, _ := local.CreateSegment(1, 1, 2, -1)
+	local.Begin()
+	addr, _ := local.CreateObject(seg, td.ID, val(7))
+	local.SetRoot("y", addr)
+	local.Commit()
+
+	// A direct client (another "workstation") updates the same segment:
+	// the server calls back the node server, which revokes the local copy.
+	direct, err := client.Open(srv, "direct", "db", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct.Begin()
+	dobj, err := direct.Root("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], 8)
+	if err := dobj.Write(8, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := direct.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ns.Snapshot().Callbacks == 0 {
+		t.Fatal("upstream callback never reached the node")
+	}
+
+	// The local session refetches fresh data.
+	local.Begin()
+	lobj, err := local.Root("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lobj.Read(8, buf[:])
+	if binary.BigEndian.Uint64(buf[:]) != 8 {
+		t.Fatalf("local sees %d after upstream invalidation", binary.BigEndian.Uint64(buf[:]))
+	}
+	local.Commit()
+}
+
+func TestSharedMemoryModeOnNode(t *testing.T) {
+	_, ns := env(t)
+	s, _ := client.Open(ns, "seed", "db", true)
+	// Write raw pages through the run interface so the shared cache has
+	// real disk pages to serve.
+	_, _, _, err := ns.AllocRun(s.DB(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	areaID, start, _, err := ns.AllocRun(s.DB(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pageData := make([]byte, 2*page.Size)
+	copy(pageData, []byte("shared-mode-page"))
+	if err := ns.WriteRun(s.DB(), areaID, start, pageData); err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := ns.AttachShared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ns.AttachShared()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := page.ID{Area: page.AreaID(areaID), Page: page.No(start)}
+	r1, err := p1.Access(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 16)
+	if err := p1.Read(r1, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "shared-mode-page" {
+		t.Fatalf("p1 read %q", got)
+	}
+	// Second process sees the same page at the same shared ref, in place.
+	r2, err := p2.Access(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 != r1 {
+		t.Fatalf("refs differ: %v vs %v", r1, r2)
+	}
+	if err := p2.Write(r2, []byte("UPDATED")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Read(r1, got[:7]); err != nil {
+		t.Fatal(err)
+	}
+	if string(got[:7]) != "UPDATED" {
+		t.Fatalf("p1 sees %q after p2's in-place write", got[:7])
+	}
+	// Write-back reaches the server's disk.
+	if err := ns.SharedCache().FlushDirty(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ns.ReadRun(s.DB(), areaID, start, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(back[:7]) != "UPDATED" {
+		t.Fatalf("disk has %q", back[:7])
+	}
+}
+
+func TestReleasedRefCounting(t *testing.T) {
+	_, ns := env(t)
+	s1, _ := client.Open(ns, "a", "db", true)
+	s2, _ := client.Open(ns, "b", "db", false)
+	td, _ := s1.RegisterType(nodeType)
+	seg, _ := s1.CreateSegment(1, 1, 2, -1)
+	s1.Begin()
+	addr, _ := s1.CreateObject(seg, td.ID, val(1))
+	s1.SetRoot("r", addr)
+	s1.Commit()
+	s2.Begin()
+	s2.Root("r")
+	s2.Commit()
+
+	// Only one of two locals releases: the node keeps its image.
+	if err := ns.Released(s2.Client(), proto.SegKey(seg)); err != nil {
+		t.Fatal(err)
+	}
+	ns.mu.Lock()
+	_, still := ns.images[seg]
+	ns.mu.Unlock()
+	if !still {
+		t.Fatal("image dropped while a local still holds a copy")
+	}
+}

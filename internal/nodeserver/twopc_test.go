@@ -1,0 +1,90 @@
+package nodeserver
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"bess/internal/client"
+)
+
+// TestTwoPCThroughNodeServer runs prepare/decide through the node-server
+// pass-through: a local application commits a distributed-style transaction
+// whose single branch is reached via the node.
+func TestTwoPCThroughNodeServer(t *testing.T) {
+	_, ns := env(t)
+	s, err := client.Open(ns, "app", "db", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, _ := s.RegisterType(nodeType)
+	seg, _ := s.CreateSegment(1, 1, 2, -1)
+
+	s.Begin()
+	addr, err := s.CreateObject(seg, td.ID, val(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetRoot("x", addr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrepareCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FinishCommit(true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Visible through a fresh local application.
+	s2, _ := client.Open(ns, "app2", "db", false)
+	s2.Begin()
+	obj, err := s2.Root("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [8]byte
+	obj.Read(8, b[:])
+	if binary.BigEndian.Uint64(b[:]) != 11 {
+		t.Fatalf("value = %d", binary.BigEndian.Uint64(b[:]))
+	}
+	s2.Commit()
+}
+
+// TestTwoPCAbortThroughNodeServer: the abort decision rolls the branch back.
+func TestTwoPCAbortThroughNodeServer(t *testing.T) {
+	_, ns := env(t)
+	s, _ := client.Open(ns, "app", "db", true)
+	td, _ := s.RegisterType(nodeType)
+	seg, _ := s.CreateSegment(1, 1, 2, -1)
+	s.Begin()
+	addr, _ := s.CreateObject(seg, td.ID, val(1))
+	s.SetRoot("y", addr)
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	s.Begin()
+	obj, _ := s.Root("y")
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], 999)
+	if err := obj.Write(8, buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PrepareCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.FinishCommit(false); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := client.Open(ns, "app2", "db", false)
+	s2.Begin()
+	obj2, err := s2.Root("y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj2.Read(8, buf[:])
+	if binary.BigEndian.Uint64(buf[:]) != 1 {
+		t.Fatalf("aborted branch visible: %d", binary.BigEndian.Uint64(buf[:]))
+	}
+	s2.Commit()
+}

@@ -1,0 +1,110 @@
+// Package oid implements BeSS 96-bit object identifiers (paper §2.1).
+//
+// An OID uniquely identifies an object in a BeSS system. It carries the host
+// machine number, the database number, the offset of the object's header
+// (slot) within the database, and a uniquifier that approximates unique OIDs:
+// the uniquifier is stored in every slot and bumped each time the slot is
+// reused, so dangling OIDs to recycled slots are detected.
+package oid
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Size is the encoded size of an OID in bytes (96 bits).
+const Size = 12
+
+// Layout of the 96 bits:
+//
+//	host:   16 bits
+//	db:     16 bits
+//	offset: 48 bits  (slot offset within the database's slotted areas)
+//	unique: 16 bits  (slot reuse counter)
+const (
+	maxHost   = 1<<16 - 1
+	maxDB     = 1<<16 - 1
+	maxOffset = 1<<48 - 1
+	maxUnique = 1<<16 - 1
+)
+
+// ErrMalformed reports a byte slice that cannot hold an OID.
+var ErrMalformed = errors.New("oid: malformed encoding")
+
+// OID is a 96-bit object identifier. The zero OID is the nil reference.
+type OID struct {
+	Host   uint16 // host machine number
+	DB     uint16 // database number on that host
+	Offset uint64 // header (slot) offset within the database, 48 bits
+	Unique uint16 // slot-reuse uniquifier
+}
+
+// Nil is the zero OID, used as the null reference.
+var Nil OID
+
+// New builds an OID, validating field ranges.
+func New(host, db uint16, offset uint64, unique uint16) (OID, error) {
+	if offset > maxOffset {
+		return Nil, fmt.Errorf("oid: offset %d exceeds 48 bits", offset)
+	}
+	return OID{Host: host, DB: db, Offset: offset, Unique: unique}, nil
+}
+
+// IsNil reports whether o is the null reference.
+func (o OID) IsNil() bool { return o == Nil }
+
+// String renders the OID in host.db.offset.unique form.
+func (o OID) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", o.Host, o.DB, o.Offset, o.Unique)
+}
+
+// Encode appends the 12-byte encoding of o to dst and returns the result.
+func (o OID) Encode(dst []byte) []byte {
+	var buf [Size]byte
+	o.Put(buf[:])
+	return append(dst, buf[:]...)
+}
+
+// Put writes the 12-byte encoding into b, which must have length >= Size.
+func (o OID) Put(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], o.Host)
+	binary.BigEndian.PutUint16(b[2:4], o.DB)
+	// 48-bit offset, big endian.
+	b[4] = byte(o.Offset >> 40)
+	b[5] = byte(o.Offset >> 32)
+	b[6] = byte(o.Offset >> 24)
+	b[7] = byte(o.Offset >> 16)
+	b[8] = byte(o.Offset >> 8)
+	b[9] = byte(o.Offset)
+	binary.BigEndian.PutUint16(b[10:12], o.Unique)
+}
+
+// Decode parses a 12-byte encoding.
+func Decode(b []byte) (OID, error) {
+	if len(b) < Size {
+		return Nil, ErrMalformed
+	}
+	var o OID
+	o.Host = binary.BigEndian.Uint16(b[0:2])
+	o.DB = binary.BigEndian.Uint16(b[2:4])
+	o.Offset = uint64(b[4])<<40 | uint64(b[5])<<32 | uint64(b[6])<<24 |
+		uint64(b[7])<<16 | uint64(b[8])<<8 | uint64(b[9])
+	o.Unique = binary.BigEndian.Uint16(b[10:12])
+	return o, nil
+}
+
+// Less orders OIDs lexicographically by (host, db, offset, unique); it is
+// used by directory scans that want deterministic output.
+func (o OID) Less(p OID) bool {
+	if o.Host != p.Host {
+		return o.Host < p.Host
+	}
+	if o.DB != p.DB {
+		return o.DB < p.DB
+	}
+	if o.Offset != p.Offset {
+		return o.Offset < p.Offset
+	}
+	return o.Unique < p.Unique
+}

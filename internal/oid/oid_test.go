@@ -1,0 +1,94 @@
+package oid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []OID{
+		{},
+		{Host: 1, DB: 2, Offset: 3, Unique: 4},
+		{Host: maxHost, DB: maxDB, Offset: maxOffset, Unique: maxUnique},
+		{Host: 7, DB: 0, Offset: 1 << 40, Unique: 9},
+	}
+	for _, o := range cases {
+		b := o.Encode(nil)
+		if len(b) != Size {
+			t.Fatalf("encode length %d, want %d", len(b), Size)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != o {
+			t.Fatalf("round trip: got %v, want %v", got, o)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 0, maxOffset+1, 0); err == nil {
+		t.Fatal("offset overflow accepted")
+	}
+	o, err := New(3, 4, 5, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Host != 3 || o.DB != 4 || o.Offset != 5 || o.Unique != 6 {
+		t.Fatalf("New fields wrong: %+v", o)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, err := Decode(make([]byte, Size-1)); err != ErrMalformed {
+		t.Fatalf("got %v, want ErrMalformed", err)
+	}
+}
+
+func TestNil(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Fatal("Nil.IsNil() = false")
+	}
+	o := OID{Unique: 1}
+	if o.IsNil() {
+		t.Fatal("non-zero OID reported nil")
+	}
+}
+
+func TestString(t *testing.T) {
+	o := OID{Host: 1, DB: 2, Offset: 3, Unique: 4}
+	if s := o.String(); s != "1.2.3.4" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestLessIsStrictWeakOrder(t *testing.T) {
+	a := OID{Host: 1}
+	b := OID{Host: 1, DB: 1}
+	c := OID{Host: 2}
+	if !a.Less(b) || !b.Less(c) || !a.Less(c) {
+		t.Fatal("Less not transitive on sample")
+	}
+	if a.Less(a) {
+		t.Fatal("Less not irreflexive")
+	}
+	d := OID{Host: 1, DB: 1, Offset: 5}
+	e := OID{Host: 1, DB: 1, Offset: 5, Unique: 1}
+	if !d.Less(e) || e.Less(d) {
+		t.Fatal("unique tiebreak wrong")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(host, db, unique uint16, off uint64) bool {
+		o := OID{Host: host, DB: db, Offset: off & maxOffset, Unique: unique}
+		var buf [Size]byte
+		o.Put(buf[:])
+		got, err := Decode(buf[:])
+		return err == nil && got == o
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

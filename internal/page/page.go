@@ -1,0 +1,75 @@
+// Package page defines the fixed page geometry shared by all BeSS storage
+// layers, page identifiers, and small helpers (checksums, LSN slots) used by
+// the segment and WAL layers.
+//
+// BeSS views every storage area as an array of fixed-size pages; the cache
+// established by a node server is "a contiguous sequence of equal length
+// frames, and the size of each frame is equal to the page size" (paper §4).
+package page
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Size is the BeSS page size in bytes. All caches, virtual frames, and
+// buffer-pool frames use this unit.
+const Size = 4096
+
+// PerExtent is the number of pages in one storage-area extent. Storage areas
+// grow one extent at a time (paper §2). Must be a power of two so extents can
+// be carved with the binary buddy system.
+const PerExtent = 256
+
+// AreaID identifies a storage area within a server.
+type AreaID uint32
+
+// No is a page number within a storage area (0-based, absolute).
+type No int64
+
+// ID names a page globally within one server: (area, page number).
+type ID struct {
+	Area AreaID
+	Page No
+}
+
+// String renders the page ID as area:page.
+func (id ID) String() string { return fmt.Sprintf("%d:%d", id.Area, id.Page) }
+
+// Less orders IDs by (area, page).
+func (id ID) Less(other ID) bool {
+	if id.Area != other.Area {
+		return id.Area < other.Area
+	}
+	return id.Page < other.Page
+}
+
+// castagnoli is the CRC-32C table used for page and log checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC-32C of b.
+func Checksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// LSN is a log sequence number: a byte offset into the write-ahead log.
+// LSN 0 means "never logged".
+type LSN uint64
+
+// PutLSN stores an LSN big-endian into the first 8 bytes of b.
+func PutLSN(b []byte, l LSN) {
+	_ = b[7]
+	b[0] = byte(l >> 56)
+	b[1] = byte(l >> 48)
+	b[2] = byte(l >> 40)
+	b[3] = byte(l >> 32)
+	b[4] = byte(l >> 24)
+	b[5] = byte(l >> 16)
+	b[6] = byte(l >> 8)
+	b[7] = byte(l)
+}
+
+// GetLSN reads an LSN stored by PutLSN.
+func GetLSN(b []byte) LSN {
+	_ = b[7]
+	return LSN(b[0])<<56 | LSN(b[1])<<48 | LSN(b[2])<<40 | LSN(b[3])<<32 |
+		LSN(b[4])<<24 | LSN(b[5])<<16 | LSN(b[6])<<8 | LSN(b[7])
+}

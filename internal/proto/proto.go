@@ -1,0 +1,383 @@
+// Package proto defines the wire types and the service interface shared by
+// BeSS servers, node servers, and client sessions (paper §3). Keeping them
+// in one package lets the same client code run against a remote server over
+// RPC, a local node server, or a server linked into the same process (the
+// "open server" configuration).
+package proto
+
+import (
+	"bess/internal/oid"
+	"bess/internal/segment"
+)
+
+// SegKey identifies an object segment by its immovable slotted segment.
+type SegKey struct {
+	Area  uint32
+	Start int64
+}
+
+// LockMode mirrors lock.Mode on the wire.
+type LockMode uint8
+
+// SegImage is a segment's full state shipped at commit: the encoded slotted
+// segment (with header + slots), the overflow image, and the data segment
+// bytes.
+type SegImage struct {
+	Seg      SegKey
+	Slotted  []byte
+	Overflow []byte
+	Data     []byte
+}
+
+// TypeInfo mirrors segment.TypeDesc on the wire.
+type TypeInfo struct {
+	ID         uint32
+	Name       string
+	Size       int
+	RefOffsets []int
+}
+
+// ToDesc converts to the segment-layer descriptor.
+func (t TypeInfo) ToDesc() segment.TypeDesc {
+	return segment.TypeDesc{
+		ID:         segment.TypeID(t.ID),
+		Name:       t.Name,
+		Size:       t.Size,
+		RefOffsets: append([]int(nil), t.RefOffsets...),
+	}
+}
+
+// FromDesc converts from the segment-layer descriptor.
+func FromDesc(d *segment.TypeDesc) TypeInfo {
+	return TypeInfo{
+		ID:         uint32(d.ID),
+		Name:       d.Name,
+		Size:       d.Size,
+		RefOffsets: append([]int(nil), d.RefOffsets...),
+	}
+}
+
+// Conn is the service surface a client session consumes. Implementations:
+// server.Server (direct, "open server"), client.Remote (RPC), and
+// nodeserver.NodeServer (local cache + RPC upstream).
+type Conn interface {
+	// Hello registers the caller and returns its client id.
+	Hello(name string) (uint32, error)
+	// OpenDB opens (or creates, if create) a database by name.
+	OpenDB(name string, create bool) (db uint32, host uint16, err error)
+	// NewTx allocates a transaction id valid on this connection.
+	NewTx() (uint64, error)
+	// RegisterType registers (idempotently) a type descriptor for db.
+	RegisterType(db uint32, t TypeInfo) (TypeInfo, error)
+	// Types lists the registered types of db.
+	Types(db uint32) ([]TypeInfo, error)
+	// AddArea attaches one more storage area to db (multifile growth).
+	AddArea(db uint32) (uint32, error)
+	// NewFileID allocates a fresh BeSS file id in db.
+	NewFileID(db uint32) (uint32, error)
+	// CreateSegment allocates a fresh object segment in db. areaHint picks
+	// the db area by index (-1 = first), letting multifiles spread their
+	// segments over areas.
+	CreateSegment(db uint32, fileID uint32, slottedPages, dataPages, areaHint int) (SegKey, error)
+	// SegInfo returns the slotted size of seg in pages.
+	SegInfo(seg SegKey) (slottedPages int, err error)
+	// FetchSlotted returns the encoded slotted image and overflow image.
+	FetchSlotted(client uint32, seg SegKey) (slotted, overflow []byte, err error)
+	// FetchData returns the data segment image.
+	FetchData(client uint32, seg SegKey) ([]byte, error)
+	// FetchLarge returns the content of a transparent large object.
+	FetchLarge(client uint32, seg SegKey, slot int) ([]byte, error)
+	// Resolve maps a 48-bit header offset to its segment and slot.
+	Resolve(db uint32, headerOff uint64) (SegKey, int, error)
+	// Lock acquires mode on seg for tx, driving callbacks to other clients
+	// caching it.
+	Lock(client uint32, tx uint64, seg SegKey, mode LockMode) error
+	// LockObject acquires an object-level lock (slot granularity) — the
+	// software-based finer-granularity locking of §2.3/[27]. The owning
+	// segment gets the matching intention lock.
+	LockObject(client uint32, tx uint64, seg SegKey, slot int, mode LockMode) error
+	// Commit logs, applies, and commits tx's segment images.
+	Commit(client uint32, tx uint64, segs []SegImage) error
+	// Abort rolls tx back and releases its locks.
+	Abort(client uint32, tx uint64) error
+	// SegmentsOf lists the segments of a file in db (scans).
+	SegmentsOf(db uint32, fileID uint32) ([]SegKey, error)
+	// Released tells the server the client dropped its cached copy of seg.
+	Released(client uint32, seg SegKey) error
+	// CreateLarge stores a transparent (≤64KB) large object server-side:
+	// content goes to freshly allocated pages and a descriptor slot is
+	// added to seg. Other clients' cached copies of seg are called back.
+	CreateLarge(client uint32, tx uint64, seg SegKey, typ uint32, content []byte) (slot int, err error)
+	// Raw run operations back the very-large-object tree (largeobj.Store)
+	// over the connection.
+	AllocRun(db uint32, nPages int) (area uint32, start int64, granted int, err error)
+	FreeRun(db uint32, area uint32, start int64) error
+	ReadRun(db uint32, area uint32, start int64, nPages int) ([]byte, error)
+	WriteRun(db uint32, area uint32, start int64, data []byte) error
+	// Prepare and Decide are the 2PC participant surface for distributed
+	// transactions coordinated by a client or another server.
+	Prepare(client uint32, tx uint64, segs []SegImage) error
+	Decide(tx uint64, commit bool) error
+	// Name directory operations (root objects).
+	NameBind(db uint32, name string, o oid.OID) error
+	NameLookup(db uint32, name string) (oid.OID, error)
+	NameUnbind(db uint32, name string) error
+	// NameRemoveOID enforces referential integrity when a root object is
+	// deleted: its name binding goes with it.
+	NameRemoveOID(db uint32, o oid.OID) error
+}
+
+// Lock modes on the wire (mirror lock package values).
+const (
+	LockNone LockMode = iota
+	LockIS
+	LockIX
+	LockS
+	LockSIX
+	LockX
+)
+
+// --- RPC arg/reply structs (exported for gob) ---
+
+// HelloArgs introduces a client.
+type HelloArgs struct{ Name string }
+
+// HelloReply carries the assigned client id.
+type HelloReply struct{ Client uint32 }
+
+// OpenDBArgs requests a database open.
+type OpenDBArgs struct {
+	Name   string
+	Create bool
+}
+
+// OpenDBReply returns the database id and host number.
+type OpenDBReply struct {
+	DB   uint32
+	Host uint16
+}
+
+// NewTxArgs requests a transaction id.
+type NewTxArgs struct{ Client uint32 }
+
+// NewTxReply carries it.
+type NewTxReply struct{ Tx uint64 }
+
+// RegisterTypeArgs registers a type.
+type RegisterTypeArgs struct {
+	DB   uint32
+	Info TypeInfo
+}
+
+// RegisterTypeReply returns the canonical descriptor.
+type RegisterTypeReply struct{ Info TypeInfo }
+
+// TypesArgs lists types.
+type TypesArgs struct{ DB uint32 }
+
+// TypesReply carries them.
+type TypesReply struct{ Infos []TypeInfo }
+
+// CreateSegmentArgs allocates an object segment.
+type CreateSegmentArgs struct {
+	DB           uint32
+	FileID       uint32
+	SlottedPages int
+	DataPages    int
+	AreaHint     int
+}
+
+// AddAreaArgs attaches a storage area to a database.
+type AddAreaArgs struct{ DB uint32 }
+
+// AddAreaReply names the new area.
+type AddAreaReply struct{ Area uint32 }
+
+// NewFileIDArgs allocates a file id.
+type NewFileIDArgs struct{ DB uint32 }
+
+// NewFileIDReply carries it.
+type NewFileIDReply struct{ File uint32 }
+
+// CreateLargeArgs stores a transparent large object.
+type CreateLargeArgs struct {
+	Client  uint32
+	Tx      uint64
+	Seg     SegKey
+	Type    uint32
+	Content []byte
+}
+
+// CreateLargeReply names the new slot.
+type CreateLargeReply struct{ Slot int }
+
+// AllocRunArgs allocates a raw page run.
+type AllocRunArgs struct {
+	DB     uint32
+	NPages int
+}
+
+// AllocRunReply names the run.
+type AllocRunReply struct {
+	Area    uint32
+	Start   int64
+	Granted int
+}
+
+// RunArgs addresses a raw page run.
+type RunArgs struct {
+	DB     uint32
+	Area   uint32
+	Start  int64
+	NPages int
+	Data   []byte
+}
+
+// RunReply carries run bytes.
+type RunReply struct{ Data []byte }
+
+// CreateSegmentReply names the new segment.
+type CreateSegmentReply struct{ Seg SegKey }
+
+// SegInfoArgs asks for slotted geometry.
+type SegInfoArgs struct{ Seg SegKey }
+
+// SegInfoReply carries it.
+type SegInfoReply struct{ SlottedPages int }
+
+// FetchSlottedArgs fetches control structures.
+type FetchSlottedArgs struct {
+	Client uint32
+	Seg    SegKey
+}
+
+// FetchSlottedReply carries slotted + overflow images.
+type FetchSlottedReply struct{ Slotted, Overflow []byte }
+
+// FetchDataArgs fetches a data segment.
+type FetchDataArgs struct {
+	Client uint32
+	Seg    SegKey
+}
+
+// FetchDataReply carries the bytes.
+type FetchDataReply struct{ Data []byte }
+
+// FetchLargeArgs fetches a transparent large object.
+type FetchLargeArgs struct {
+	Client uint32
+	Seg    SegKey
+	Slot   int
+}
+
+// FetchLargeReply carries the bytes.
+type FetchLargeReply struct{ Data []byte }
+
+// ResolveArgs resolves a header offset.
+type ResolveArgs struct {
+	DB        uint32
+	HeaderOff uint64
+}
+
+// ResolveReply names the slot.
+type ResolveReply struct {
+	Seg  SegKey
+	Slot int
+}
+
+// LockArgs requests a segment lock.
+type LockArgs struct {
+	Client uint32
+	Tx     uint64
+	Seg    SegKey
+	Mode   LockMode
+}
+
+// LockObjectArgs requests an object-level lock.
+type LockObjectArgs struct {
+	Client uint32
+	Tx     uint64
+	Seg    SegKey
+	Slot   int
+	Mode   LockMode
+}
+
+// CommitArgs ships the transaction's dirty segments.
+type CommitArgs struct {
+	Client uint32
+	Tx     uint64
+	Segs   []SegImage
+}
+
+// AbortArgs aborts a transaction.
+type AbortArgs struct {
+	Client uint32
+	Tx     uint64
+}
+
+// SegmentsOfArgs lists a file's segments.
+type SegmentsOfArgs struct {
+	DB     uint32
+	FileID uint32
+}
+
+// SegmentsOfReply carries them.
+type SegmentsOfReply struct{ Segs []SegKey }
+
+// ReleasedArgs reports a dropped cached copy.
+type ReleasedArgs struct {
+	Client uint32
+	Seg    SegKey
+}
+
+// NameBindArgs binds a root-object name.
+type NameBindArgs struct {
+	DB   uint32
+	Name string
+	OID  [12]byte
+}
+
+// NameLookupArgs resolves a name.
+type NameLookupArgs struct {
+	DB   uint32
+	Name string
+}
+
+// NameLookupReply carries the OID.
+type NameLookupReply struct{ OID [12]byte }
+
+// NameUnbindArgs removes a name.
+type NameUnbindArgs struct {
+	DB   uint32
+	Name string
+}
+
+// NameRemoveOIDArgs removes the name bound to an OID (object deletion).
+type NameRemoveOIDArgs struct {
+	DB  uint32
+	OID [12]byte
+}
+
+// CallbackArgs is the server→client revocation request: drop the cached
+// copy of Seg (callback locking, §3).
+type CallbackArgs struct{ Seg SegKey }
+
+// CallbackReply reports whether the client complied; Refused means a live
+// transaction is using the copy and the requester must wait.
+type CallbackReply struct{ Refused bool }
+
+// Empty is the empty reply.
+type Empty struct{}
+
+// PrepareArgs is the 2PC vote request for a distributed branch.
+type PrepareArgs struct {
+	Client uint32
+	Tx     uint64
+	Segs   []SegImage
+}
+
+// DecideArgs delivers the 2PC decision.
+type DecideArgs struct {
+	Tx     uint64
+	Commit bool
+}

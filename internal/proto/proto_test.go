@@ -1,0 +1,48 @@
+package proto
+
+import (
+	"testing"
+
+	"bess/internal/segment"
+)
+
+func TestTypeInfoRoundTrip(t *testing.T) {
+	td := segment.TypeDesc{ID: 7, Name: "Person", Size: 32, RefOffsets: []int{0, 8}}
+	info := FromDesc(&td)
+	back := info.ToDesc()
+	if back.ID != td.ID || back.Name != td.Name || back.Size != td.Size {
+		t.Fatalf("round trip: %+v", back)
+	}
+	if len(back.RefOffsets) != 2 || back.RefOffsets[1] != 8 {
+		t.Fatalf("offsets: %v", back.RefOffsets)
+	}
+	// The conversions copy, not alias.
+	info.RefOffsets[0] = 999
+	if td.RefOffsets[0] == 999 {
+		t.Fatal("FromDesc aliases the descriptor")
+	}
+	back2 := info.ToDesc()
+	info.RefOffsets[1] = 888
+	if back2.RefOffsets[1] == 888 {
+		t.Fatal("ToDesc aliases the info")
+	}
+}
+
+func TestLockModeValuesMirrorLockPackage(t *testing.T) {
+	// The wire encoding relies on these numeric identities.
+	if LockNone != 0 || LockIS != 1 || LockIX != 2 || LockS != 3 || LockSIX != 4 || LockX != 5 {
+		t.Fatal("lock mode wire values changed; update lock.Mode mapping")
+	}
+}
+
+func TestSegKeyComparable(t *testing.T) {
+	a := SegKey{Area: 1, Start: 10}
+	b := SegKey{Area: 1, Start: 10}
+	if a != b {
+		t.Fatal("SegKey equality")
+	}
+	m := map[SegKey]int{a: 1}
+	if m[b] != 1 {
+		t.Fatal("SegKey as map key")
+	}
+}

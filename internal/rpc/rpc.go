@@ -1,0 +1,303 @@
+// Package rpc implements the symmetric message protocol BeSS processes use
+// to talk to each other (paper §3): clients call servers for data and
+// locks, and servers call back into clients to revoke cached pages (the
+// callback locking algorithm), so both ends of a connection can originate
+// requests.
+//
+// Wire format: a gob stream of frames; each frame carries a request or a
+// reply matched by id. Transports: TCP (cmd/bess-server) and net.Pipe for
+// in-process deterministic tests.
+package rpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// frame is the wire unit.
+type frame struct {
+	ID     uint64
+	Reply  bool
+	Method string
+	Err    string
+	Body   []byte
+}
+
+// Errors returned by the peer.
+var (
+	ErrClosed    = errors.New("rpc: connection closed")
+	ErrNoHandler = errors.New("rpc: no handler for method")
+)
+
+// RemoteError wraps an error string returned by the other side.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
+
+// Handler serves one method: decode args from r, return a reply value.
+type Handler func(dec *gob.Decoder) (any, error)
+
+// Peer is one end of a connection. Both sides may Call and Serve. Safe for
+// concurrent use.
+type Peer struct {
+	conn io.ReadWriteCloser
+
+	writeMu sync.Mutex
+	enc     *gob.Encoder
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	pending  map[uint64]chan frame
+	nextID   uint64
+	closed   bool
+	closeErr error
+
+	// OnClose runs once when the read loop exits.
+	OnClose func(error)
+}
+
+// NewPeer wraps a connection and starts the read loop.
+func NewPeer(conn io.ReadWriteCloser) *Peer {
+	p := &Peer{
+		conn:     conn,
+		enc:      gob.NewEncoder(conn),
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]chan frame),
+		nextID:   1,
+	}
+	go p.readLoop()
+	return p
+}
+
+// Handle registers a method handler. Must be called before the method can
+// arrive; registering after NewPeer but before the other side calls is the
+// normal pattern.
+func (p *Peer) Handle(method string, h Handler) {
+	p.mu.Lock()
+	p.handlers[method] = h
+	p.mu.Unlock()
+}
+
+// HandleFunc registers a typed handler: args is decoded into a fresh A.
+func HandleFunc[A any, R any](p *Peer, method string, fn func(*A) (*R, error)) {
+	p.Handle(method, func(dec *gob.Decoder) (any, error) {
+		var a A
+		if err := dec.Decode(&a); err != nil {
+			return nil, fmt.Errorf("rpc: decode %s args: %w", method, err)
+		}
+		return fn(&a)
+	})
+}
+
+// Call sends a request and decodes the reply into reply (a pointer).
+func (p *Peer) Call(method string, args any, reply any) error {
+	p.mu.Lock()
+	if p.closed {
+		err := p.closeErr
+		p.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return err
+	}
+	id := p.nextID
+	p.nextID++
+	ch := make(chan frame, 1)
+	p.pending[id] = ch
+	p.mu.Unlock()
+
+	body, err := encodeBody(args)
+	if err != nil {
+		p.dropPending(id)
+		return err
+	}
+	if err := p.send(frame{ID: id, Method: method, Body: body}); err != nil {
+		p.dropPending(id)
+		return err
+	}
+	f, ok := <-ch
+	if !ok {
+		return ErrClosed
+	}
+	if f.Err != "" {
+		return &RemoteError{Msg: f.Err}
+	}
+	if reply != nil {
+		dec := gob.NewDecoder(bytesReader(f.Body))
+		if err := dec.Decode(reply); err != nil {
+			return fmt.Errorf("rpc: decode %s reply: %w", method, err)
+		}
+	}
+	return nil
+}
+
+func (p *Peer) dropPending(id uint64) {
+	p.mu.Lock()
+	delete(p.pending, id)
+	p.mu.Unlock()
+}
+
+func (p *Peer) send(f frame) error {
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	return p.enc.Encode(f)
+}
+
+func encodeBody(v any) ([]byte, error) {
+	var buf writerBuf
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.b, nil
+}
+
+// writerBuf is a minimal bytes.Buffer substitute for encode.
+type writerBuf struct{ b []byte }
+
+func (w *writerBuf) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+type readerBuf struct {
+	b []byte
+	i int
+}
+
+func (r *readerBuf) Read(p []byte) (int, error) {
+	if r.i >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.i:])
+	r.i += n
+	return n, nil
+}
+
+func bytesReader(b []byte) io.Reader { return &readerBuf{b: b} }
+
+func (p *Peer) readLoop() {
+	dec := gob.NewDecoder(p.conn)
+	var err error
+	for {
+		var f frame
+		if err = dec.Decode(&f); err != nil {
+			break
+		}
+		if f.Reply {
+			p.mu.Lock()
+			ch, ok := p.pending[f.ID]
+			if ok {
+				delete(p.pending, f.ID)
+			}
+			p.mu.Unlock()
+			if ok {
+				ch <- f
+			}
+			continue
+		}
+		// Request: dispatch in its own goroutine so a handler that calls
+		// back over the same peer cannot deadlock the loop.
+		go p.dispatch(f)
+	}
+	p.shutdown(err)
+}
+
+func (p *Peer) dispatch(f frame) {
+	p.mu.Lock()
+	h := p.handlers[f.Method]
+	p.mu.Unlock()
+	var reply frame
+	reply.ID = f.ID
+	reply.Reply = true
+	if h == nil {
+		reply.Err = ErrNoHandler.Error() + ": " + f.Method
+	} else {
+		res, err := h(gob.NewDecoder(bytesReader(f.Body)))
+		if err != nil {
+			reply.Err = err.Error()
+		} else if res != nil {
+			body, err := encodeBody(res)
+			if err != nil {
+				reply.Err = err.Error()
+			} else {
+				reply.Body = body
+			}
+		}
+	}
+	_ = p.send(reply)
+}
+
+func (p *Peer) shutdown(err error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.closeErr = err
+	for id, ch := range p.pending {
+		close(ch)
+		delete(p.pending, id)
+	}
+	onClose := p.OnClose
+	p.mu.Unlock()
+	p.conn.Close()
+	if onClose != nil {
+		onClose(err)
+	}
+}
+
+// Close tears the connection down; pending calls fail.
+func (p *Peer) Close() error {
+	err := p.conn.Close()
+	p.shutdown(ErrClosed)
+	return err
+}
+
+// Pipe returns two connected in-process peers.
+func Pipe() (*Peer, *Peer) {
+	c1, c2 := net.Pipe()
+	return NewPeer(c1), NewPeer(c2)
+}
+
+// Dial connects to a TCP BeSS endpoint.
+func Dial(addr string) (*Peer, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewPeer(conn), nil
+}
+
+// Listener accepts TCP peers.
+type Listener struct {
+	l net.Listener
+}
+
+// Listen opens a TCP listener.
+func Listen(addr string) (*Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Listener{l: l}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.l.Addr().String() }
+
+// Accept waits for the next peer.
+func (l *Listener) Accept() (*Peer, error) {
+	conn, err := l.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewPeer(conn), nil
+}
+
+// Close stops accepting.
+func (l *Listener) Close() error { return l.l.Close() }

@@ -1,0 +1,176 @@
+package rpc
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+type echoArgs struct{ Msg string }
+type echoReply struct{ Msg string }
+
+func TestCallOverPipe(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	HandleFunc(b, "echo", func(in *echoArgs) (*echoReply, error) {
+		return &echoReply{Msg: "re: " + in.Msg}, nil
+	})
+	var rep echoReply
+	if err := a.Call("echo", &echoArgs{Msg: "hi"}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Msg != "re: hi" {
+		t.Fatalf("reply = %q", rep.Msg)
+	}
+}
+
+func TestRemoteError(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	HandleFunc(b, "boom", func(in *echoArgs) (*echoReply, error) {
+		return nil, errors.New("kapow")
+	})
+	err := a.Call("boom", &echoArgs{}, &echoReply{})
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "kapow" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	err := a.Call("nope", &echoArgs{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBidirectionalCalls(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	HandleFunc(a, "client-side", func(in *echoArgs) (*echoReply, error) {
+		return &echoReply{Msg: "from-a"}, nil
+	})
+	// b's handler calls back into a over the same connection — the callback
+	// locking pattern.
+	HandleFunc(b, "server-side", func(in *echoArgs) (*echoReply, error) {
+		var rep echoReply
+		if err := b.Call("client-side", &echoArgs{}, &rep); err != nil {
+			return nil, err
+		}
+		return &echoReply{Msg: "server saw " + rep.Msg}, nil
+	})
+	var rep echoReply
+	if err := a.Call("server-side", &echoArgs{}, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Msg != "server saw from-a" {
+		t.Fatalf("reply = %q", rep.Msg)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	HandleFunc(b, "echo", func(in *echoArgs) (*echoReply, error) {
+		return &echoReply{Msg: in.Msg}, nil
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var rep echoReply
+			msg := strings.Repeat("x", i+1)
+			if err := a.Call("echo", &echoArgs{Msg: msg}, &rep); err != nil {
+				errs <- err
+				return
+			}
+			if rep.Msg != msg {
+				errs <- errors.New("reply mismatch: " + rep.Msg)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestCloseFailsPendingAndFutureCalls(t *testing.T) {
+	a, b := Pipe()
+	HandleFunc(b, "slow", func(in *echoArgs) (*echoReply, error) {
+		time.Sleep(200 * time.Millisecond)
+		return &echoReply{}, nil
+	})
+	done := make(chan error, 1)
+	go func() { done <- a.Call("slow", &echoArgs{}, &echoReply{}) }()
+	time.Sleep(20 * time.Millisecond)
+	a.Close()
+	if err := <-done; err == nil {
+		t.Fatal("pending call survived close")
+	}
+	if err := a.Call("echo", &echoArgs{}, nil); err == nil {
+		t.Fatal("call after close succeeded")
+	}
+}
+
+func TestOnClose(t *testing.T) {
+	a, b := Pipe()
+	fired := make(chan struct{})
+	b.OnClose = func(error) { close(fired) }
+	a.Close()
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("OnClose never fired")
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		p, err := l.Accept()
+		if err != nil {
+			return
+		}
+		HandleFunc(p, "echo", func(in *echoArgs) (*echoReply, error) {
+			return &echoReply{Msg: "tcp " + in.Msg}, nil
+		})
+	}()
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var rep echoReply
+	// The handler registers asynchronously after accept; retry briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		err = c.Call("echo", &echoArgs{Msg: "net"}, &rep)
+		if err == nil || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Msg != "tcp net" {
+		t.Fatalf("reply = %q", rep.Msg)
+	}
+}

@@ -1,0 +1,132 @@
+package segment
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// RefSize is the byte size of an inter-object reference field inside an
+// object's data: 64 bits holding either the persistent form (the referenced
+// object's 48-bit header offset within the database plus its 16-bit
+// uniquifier) or, once swizzled, the referenced slot's virtual address.
+const RefSize = 8
+
+// TypeDesc describes a persistent type: its size and the offsets of the
+// reference fields within objects of the type. "Type descriptors contain the
+// offsets of pointers within the objects they describe" (paper §2.1). BeSS
+// walks these offsets when a data segment is fetched, swizzling each
+// reference (wave 2 of the three-wave scheme).
+type TypeDesc struct {
+	ID         TypeID
+	Name       string
+	Size       int   // fixed object size in bytes, 0 if variable
+	RefOffsets []int // byte offsets of RefSize reference fields
+}
+
+// Validate checks internal consistency of the descriptor.
+func (t *TypeDesc) Validate() error {
+	if t.ID == 0 {
+		return errors.New("segment: type id 0 is reserved")
+	}
+	if t.Name == "" {
+		return errors.New("segment: type needs a name")
+	}
+	seen := make(map[int]bool, len(t.RefOffsets))
+	for _, off := range t.RefOffsets {
+		if off < 0 {
+			return fmt.Errorf("segment: type %s: negative ref offset %d", t.Name, off)
+		}
+		if t.Size > 0 && off+RefSize > t.Size {
+			return fmt.Errorf("segment: type %s: ref offset %d beyond size %d", t.Name, off, t.Size)
+		}
+		if off%RefSize != 0 {
+			return fmt.Errorf("segment: type %s: ref offset %d not %d-aligned", t.Name, off, RefSize)
+		}
+		if seen[off] {
+			return fmt.Errorf("segment: type %s: duplicate ref offset %d", t.Name, off)
+		}
+		seen[off] = true
+	}
+	return nil
+}
+
+// Registry maps type ids to descriptors. A database keeps one; it is safe
+// for concurrent use.
+type Registry struct {
+	mu     sync.RWMutex
+	byID   map[TypeID]*TypeDesc
+	byName map[string]*TypeDesc
+	nextID TypeID
+}
+
+// NewRegistry returns an empty registry. Type ids start at 1.
+func NewRegistry() *Registry {
+	return &Registry{
+		byID:   make(map[TypeID]*TypeDesc),
+		byName: make(map[string]*TypeDesc),
+		nextID: 1,
+	}
+}
+
+// Register adds a descriptor, assigning its ID if zero. Registering a name
+// twice returns the existing descriptor if layouts match, an error otherwise.
+func (r *Registry) Register(t TypeDesc) (*TypeDesc, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byName[t.Name]; ok {
+		if existing.Size != t.Size || len(existing.RefOffsets) != len(t.RefOffsets) {
+			return nil, fmt.Errorf("segment: type %q re-registered with different layout", t.Name)
+		}
+		for i, off := range existing.RefOffsets {
+			if t.RefOffsets[i] != off {
+				return nil, fmt.Errorf("segment: type %q re-registered with different ref offsets", t.Name)
+			}
+		}
+		return existing, nil
+	}
+	if t.ID == 0 {
+		t.ID = r.nextID
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if _, dup := r.byID[t.ID]; dup {
+		return nil, fmt.Errorf("segment: type id %d already registered", t.ID)
+	}
+	if t.ID >= r.nextID {
+		r.nextID = t.ID + 1
+	}
+	cp := t
+	cp.RefOffsets = append([]int(nil), t.RefOffsets...)
+	r.byID[cp.ID] = &cp
+	r.byName[cp.Name] = &cp
+	return &cp, nil
+}
+
+// Lookup returns the descriptor for id, or nil.
+func (r *Registry) Lookup(id TypeID) *TypeDesc {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byID[id]
+}
+
+// LookupName returns the descriptor named name, or nil.
+func (r *Registry) LookupName(name string) *TypeDesc {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byName[name]
+}
+
+// Types returns all descriptors, in id order.
+func (r *Registry) Types() []*TypeDesc {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*TypeDesc, 0, len(r.byID))
+	for id := TypeID(1); id < r.nextID; id++ {
+		if t, ok := r.byID[id]; ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}

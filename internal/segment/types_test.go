@@ -1,0 +1,100 @@
+package segment
+
+import "testing"
+
+func TestTypeDescValidate(t *testing.T) {
+	good := TypeDesc{ID: 1, Name: "Person", Size: 32, RefOffsets: []int{8, 16}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []TypeDesc{
+		{ID: 0, Name: "x", Size: 8},
+		{ID: 1, Name: "", Size: 8},
+		{ID: 1, Name: "x", Size: 8, RefOffsets: []int{-8}},
+		{ID: 1, Name: "x", Size: 8, RefOffsets: []int{8}},     // beyond size
+		{ID: 1, Name: "x", Size: 32, RefOffsets: []int{3}},    // misaligned
+		{ID: 1, Name: "x", Size: 32, RefOffsets: []int{8, 8}}, // duplicate
+	}
+	for i, td := range bad {
+		if err := td.Validate(); err == nil {
+			t.Fatalf("case %d: invalid descriptor accepted: %+v", i, td)
+		}
+	}
+	// Variable-size types (Size 0) allow any non-negative aligned offsets.
+	v := TypeDesc{ID: 2, Name: "Var", Size: 0, RefOffsets: []int{0, 8, 160}}
+	if err := v.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistryAssignsIDs(t *testing.T) {
+	r := NewRegistry()
+	a, err := r.Register(TypeDesc{Name: "A", Size: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Register(TypeDesc{Name: "B", Size: 24, RefOffsets: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID == 0 || b.ID == 0 || a.ID == b.ID {
+		t.Fatalf("ids: %d %d", a.ID, b.ID)
+	}
+	if r.Lookup(a.ID) != a || r.LookupName("B") != b {
+		t.Fatal("lookup mismatch")
+	}
+	if r.Lookup(999) != nil || r.LookupName("missing") != nil {
+		t.Fatal("phantom lookups")
+	}
+}
+
+func TestRegistryIdempotentSameLayout(t *testing.T) {
+	r := NewRegistry()
+	a, _ := r.Register(TypeDesc{Name: "A", Size: 16, RefOffsets: []int{8}})
+	a2, err := r.Register(TypeDesc{Name: "A", Size: 16, RefOffsets: []int{8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2 != a {
+		t.Fatal("re-registration returned a different descriptor")
+	}
+	if _, err := r.Register(TypeDesc{Name: "A", Size: 24, RefOffsets: []int{8}}); err == nil {
+		t.Fatal("layout conflict accepted (size)")
+	}
+	if _, err := r.Register(TypeDesc{Name: "A", Size: 16, RefOffsets: []int{0}}); err == nil {
+		t.Fatal("layout conflict accepted (offsets)")
+	}
+}
+
+func TestRegistryExplicitIDs(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Register(TypeDesc{ID: 7, Name: "Seven", Size: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Register(TypeDesc{ID: 7, Name: "Other", Size: 8}); err == nil {
+		t.Fatal("duplicate explicit id accepted")
+	}
+	next, err := r.Register(TypeDesc{Name: "Auto", Size: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.ID <= 7 {
+		t.Fatalf("auto id %d did not advance past explicit 7", next.ID)
+	}
+}
+
+func TestRegistryTypesOrdered(t *testing.T) {
+	r := NewRegistry()
+	r.Register(TypeDesc{Name: "A", Size: 8})
+	r.Register(TypeDesc{Name: "B", Size: 8})
+	r.Register(TypeDesc{Name: "C", Size: 8})
+	ts := r.Types()
+	if len(ts) != 3 {
+		t.Fatalf("Types len %d", len(ts))
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i].ID <= ts[i-1].ID {
+			t.Fatal("Types not id-ordered")
+		}
+	}
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"bess/internal/names"
+	"bess/internal/proto"
+)
+
+// segMeta is the catalog's record of one object segment.
+type segMeta struct {
+	Seg          proto.SegKey
+	FileID       uint32
+	SlottedPages int
+}
+
+// dbMeta is the catalog's record of one database.
+type dbMeta struct {
+	ID       uint32
+	Name     string
+	Areas    []uint32 // storage areas, in attach order
+	Segments map[proto.SegKey]*segMeta
+	Files    map[uint32][]proto.SegKey
+	NextFile uint32
+	Types    []proto.TypeInfo
+	NamesEnc []byte // encoded names.Directory
+}
+
+// catalog is the server's persistent metadata: databases, their areas,
+// object segments, type descriptors, and root-object directories. It is
+// written through to disk (when file-backed) before any dependent data is
+// used.
+type catalog struct {
+	mu     sync.Mutex
+	path   string // "" = memory only
+	NextDB uint32
+	// NextArea is global: area ids are unique per server.
+	NextArea uint32
+	DBs      map[string]*dbMeta
+	ByID     map[uint32]*dbMeta
+
+	// decoded name directories, lazily materialized from NamesEnc
+	dirs map[uint32]*names.Directory
+}
+
+func newCatalog(path string) *catalog {
+	return &catalog{
+		path:   path,
+		NextDB: 1, NextArea: 1,
+		DBs:  make(map[string]*dbMeta),
+		ByID: make(map[uint32]*dbMeta),
+		dirs: make(map[uint32]*names.Directory),
+	}
+}
+
+func loadCatalog(path string) (*catalog, error) {
+	c := newCatalog(path)
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := gob.NewDecoder(f).Decode(c); err != nil {
+		return nil, fmt.Errorf("server: load catalog: %w", err)
+	}
+	c.path = path
+	c.dirs = make(map[uint32]*names.Directory)
+	// gob skips nil maps inside; normalize.
+	if c.DBs == nil {
+		c.DBs = make(map[string]*dbMeta)
+	}
+	c.ByID = make(map[uint32]*dbMeta)
+	for _, m := range c.DBs {
+		if m.Segments == nil {
+			m.Segments = make(map[proto.SegKey]*segMeta)
+		}
+		if m.Files == nil {
+			m.Files = make(map[uint32][]proto.SegKey)
+		}
+		c.ByID[m.ID] = m
+	}
+	return c, nil
+}
+
+// persistLocked writes the catalog through to disk. Called with c.mu held.
+func (c *catalog) persistLocked() error {
+	// Serialize live directories back into their blobs first.
+	for id, d := range c.dirs {
+		if d.Dirty() {
+			if m := c.ByID[id]; m != nil {
+				m.NamesEnc = d.Encode()
+			}
+		}
+	}
+	if c.path == "" {
+		return nil
+	}
+	tmp := c.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewEncoder(f).Encode(c); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, c.path)
+}
+
+func (c *catalog) createDB(name string) (*dbMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.DBs[name]; dup {
+		return nil, fmt.Errorf("server: database %q exists", name)
+	}
+	m := &dbMeta{
+		ID:       c.NextDB,
+		Name:     name,
+		Segments: make(map[proto.SegKey]*segMeta),
+		Files:    make(map[uint32][]proto.SegKey),
+		NextFile: 1,
+	}
+	c.NextDB++
+	c.DBs[name] = m
+	c.ByID[m.ID] = m
+	return m, c.persistLocked()
+}
+
+func (c *catalog) db(id uint32) (*dbMeta, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.ByID[id]
+	if m == nil {
+		return nil, fmt.Errorf("server: no database %d", id)
+	}
+	return m, nil
+}
+
+func (c *catalog) dbByName(name string) (*dbMeta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.DBs[name]
+	return m, ok
+}
+
+// allocAreaID reserves the next area id and attaches it to db.
+func (c *catalog) allocAreaID(db *dbMeta) (uint32, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.NextArea
+	c.NextArea++
+	db.Areas = append(db.Areas, id)
+	return id, c.persistLocked()
+}
+
+// addSegment records a new object segment.
+func (c *catalog) addSegment(db *dbMeta, sm *segMeta) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	db.Segments[sm.Seg] = sm
+	db.Files[sm.FileID] = append(db.Files[sm.FileID], sm.Seg)
+	return c.persistLocked()
+}
+
+// segmentsOf lists the segments of a file, in creation order.
+func (c *catalog) segmentsOf(db *dbMeta, fileID uint32) []proto.SegKey {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]proto.SegKey(nil), db.Files[fileID]...)
+}
+
+// resolve finds the segment whose slotted range covers (area, byteOff).
+func (c *catalog) resolve(db *dbMeta, areaID uint32, byteOff uint64) (proto.SegKey, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	const pageSize = 4096
+	for key, sm := range db.Segments {
+		if key.Area != areaID {
+			continue
+		}
+		start := uint64(key.Start) * pageSize
+		end := start + uint64(sm.SlottedPages)*pageSize
+		if byteOff >= start && byteOff < end {
+			return key, true
+		}
+	}
+	return proto.SegKey{}, false
+}
+
+// segMetaOf fetches the catalog record of seg across all databases.
+func (c *catalog) segMetaOf(seg proto.SegKey) (*segMeta, *dbMeta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, m := range c.ByID {
+		if sm, ok := m.Segments[seg]; ok {
+			return sm, m, true
+		}
+	}
+	return nil, nil, false
+}
+
+// registerType adds (or finds) a type descriptor for db.
+func (c *catalog) registerType(db *dbMeta, t proto.TypeInfo) (proto.TypeInfo, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, have := range db.Types {
+		if have.Name == t.Name {
+			if have.Size != t.Size || len(have.RefOffsets) != len(t.RefOffsets) {
+				return proto.TypeInfo{}, fmt.Errorf("server: type %q layout conflict", t.Name)
+			}
+			for i := range have.RefOffsets {
+				if have.RefOffsets[i] != t.RefOffsets[i] {
+					return proto.TypeInfo{}, fmt.Errorf("server: type %q offsets conflict", t.Name)
+				}
+			}
+			return have, nil
+		}
+	}
+	// Assign the next id.
+	maxID := uint32(0)
+	for _, have := range db.Types {
+		if have.ID > maxID {
+			maxID = have.ID
+		}
+	}
+	t.ID = maxID + 1
+	db.Types = append(db.Types, t)
+	sort.Slice(db.Types, func(i, j int) bool { return db.Types[i].ID < db.Types[j].ID })
+	return t, c.persistLocked()
+}
+
+// types lists db's registered types.
+func (c *catalog) types(db *dbMeta) []proto.TypeInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]proto.TypeInfo(nil), db.Types...)
+}
+
+// namesDir returns db's root-object directory, decoding it on first use.
+func (c *catalog) namesDir(db *dbMeta) (*names.Directory, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d, ok := c.dirs[db.ID]; ok {
+		return d, nil
+	}
+	var d *names.Directory
+	if len(db.NamesEnc) > 0 {
+		var err error
+		d, err = names.Decode(db.NamesEnc)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		d = names.New()
+	}
+	c.dirs[db.ID] = d
+	return d, nil
+}
+
+// persistNames writes a db's directory through.
+func (c *catalog) persistNames() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.persistLocked()
+}
+
+// catalogPath computes the catalog file path for a server directory.
+func catalogPath(dir string) string { return filepath.Join(dir, "catalog.gob") }

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"bess/internal/oid"
+	"bess/internal/proto"
+	"bess/internal/rpc"
+)
+
+// callPeer builds a served pipe and a typed call helper, exercising the
+// ServePeer surface end to end.
+func callPeer(t *testing.T) (*Server, *rpc.Peer) {
+	t.Helper()
+	s := NewMem(1)
+	t.Cleanup(func() { s.Close() })
+	cEnd, sEnd := rpc.Pipe()
+	ServePeer(s, sEnd)
+	t.Cleanup(func() { cEnd.Close() })
+	return s, cEnd
+}
+
+func TestRPCFullSurface(t *testing.T) {
+	s, p := callPeer(t)
+
+	var hello proto.HelloReply
+	if err := p.Call("Hello", &proto.HelloArgs{Name: "rpc-test"}, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.Client == 0 {
+		t.Fatal("no client id")
+	}
+
+	var odb proto.OpenDBReply
+	if err := p.Call("OpenDB", &proto.OpenDBArgs{Name: "db", Create: true}, &odb); err != nil {
+		t.Fatal(err)
+	}
+
+	var fid proto.NewFileIDReply
+	if err := p.Call("NewFileID", &proto.NewFileIDArgs{DB: odb.DB}, &fid); err != nil {
+		t.Fatal(err)
+	}
+	if fid.File == 0 {
+		t.Fatal("file id 0")
+	}
+
+	var aa proto.AddAreaReply
+	if err := p.Call("AddArea", &proto.AddAreaArgs{DB: odb.DB}, &aa); err != nil {
+		t.Fatal(err)
+	}
+
+	var rt proto.RegisterTypeReply
+	if err := p.Call("RegisterType", &proto.RegisterTypeArgs{
+		DB: odb.DB, Info: proto.TypeInfo{Name: "T", Size: 16, RefOffsets: []int{0}},
+	}, &rt); err != nil {
+		t.Fatal(err)
+	}
+	var tys proto.TypesReply
+	if err := p.Call("Types", &proto.TypesArgs{DB: odb.DB}, &tys); err != nil {
+		t.Fatal(err)
+	}
+	if len(tys.Infos) != 1 || tys.Infos[0].Name != "T" {
+		t.Fatalf("types = %+v", tys.Infos)
+	}
+
+	var cs proto.CreateSegmentReply
+	if err := p.Call("CreateSegment", &proto.CreateSegmentArgs{
+		DB: odb.DB, FileID: fid.File, SlottedPages: 1, DataPages: 2, AreaHint: 1,
+	}, &cs); err != nil {
+		t.Fatal(err)
+	}
+	var si proto.SegInfoReply
+	if err := p.Call("SegInfo", &proto.SegInfoArgs{Seg: cs.Seg}, &si); err != nil {
+		t.Fatal(err)
+	}
+	if si.SlottedPages != 1 {
+		t.Fatalf("slotted pages = %d", si.SlottedPages)
+	}
+
+	var segs proto.SegmentsOfReply
+	if err := p.Call("SegmentsOf", &proto.SegmentsOfArgs{DB: odb.DB, FileID: fid.File}, &segs); err != nil {
+		t.Fatal(err)
+	}
+	if len(segs.Segs) != 1 || segs.Segs[0] != cs.Seg {
+		t.Fatalf("segments = %v", segs.Segs)
+	}
+
+	var fs proto.FetchSlottedReply
+	if err := p.Call("FetchSlotted", &proto.FetchSlottedArgs{Client: hello.Client, Seg: cs.Seg}, &fs); err != nil {
+		t.Fatal(err)
+	}
+	var fd proto.FetchDataReply
+	if err := p.Call("FetchData", &proto.FetchDataArgs{Client: hello.Client, Seg: cs.Seg}, &fd); err != nil {
+		t.Fatal(err)
+	}
+
+	var ntx proto.NewTxReply
+	if err := p.Call("NewTx", &proto.NewTxArgs{Client: hello.Client}, &ntx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("Lock", &proto.LockArgs{
+		Client: hello.Client, Tx: ntx.Tx, Seg: cs.Seg, Mode: proto.LockX,
+	}, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("LockObject", &proto.LockObjectArgs{
+		Client: hello.Client, Tx: ntx.Tx, Seg: cs.Seg, Slot: 0, Mode: proto.LockS,
+	}, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Transparent large object over the wire.
+	var cl proto.CreateLargeReply
+	content := bytes.Repeat([]byte("x"), 5000)
+	if err := p.Call("CreateLarge", &proto.CreateLargeArgs{
+		Client: hello.Client, Tx: ntx.Tx, Seg: cs.Seg, Content: content,
+	}, &cl); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("Commit", &proto.CommitArgs{Client: hello.Client, Tx: ntx.Tx}, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	var fl proto.FetchLargeReply
+	if err := p.Call("FetchLarge", &proto.FetchLargeArgs{
+		Client: hello.Client, Seg: cs.Seg, Slot: cl.Slot,
+	}, &fl); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fl.Data, content) {
+		t.Fatal("large content over RPC")
+	}
+
+	// Raw runs.
+	var ar proto.AllocRunReply
+	if err := p.Call("AllocRun", &proto.AllocRunArgs{DB: odb.DB, NPages: 2}, &ar); err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 2*4096)
+	copy(data, "raw-run")
+	if err := p.Call("WriteRun", &proto.RunArgs{DB: odb.DB, Area: ar.Area, Start: ar.Start, Data: data}, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	var rr proto.RunReply
+	if err := p.Call("ReadRun", &proto.RunArgs{DB: odb.DB, Area: ar.Area, Start: ar.Start, NPages: 1}, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if string(rr.Data[:7]) != "raw-run" {
+		t.Fatalf("run data %q", rr.Data[:7])
+	}
+	if err := p.Call("FreeRun", &proto.RunArgs{DB: odb.DB, Area: ar.Area, Start: ar.Start}, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resolve.
+	var rv proto.ResolveReply
+	off := uint64(cs.Seg.Area)<<32 | uint64(cs.Seg.Start)*4096 + 128
+	if err := p.Call("Resolve", &proto.ResolveArgs{DB: odb.DB, HeaderOff: off}, &rv); err != nil {
+		t.Fatal(err)
+	}
+	if rv.Seg != cs.Seg || rv.Slot != 0 {
+		t.Fatalf("resolve = %+v", rv)
+	}
+
+	// Names.
+	o := oid.OID{Host: 1, DB: uint16(odb.DB), Offset: off, Unique: 0}
+	var nb proto.NameBindArgs
+	nb.DB, nb.Name = odb.DB, "root"
+	o.Put(nb.OID[:])
+	if err := p.Call("NameBind", &nb, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	var nl proto.NameLookupReply
+	if err := p.Call("NameLookup", &proto.NameLookupArgs{DB: odb.DB, Name: "root"}, &nl); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := oid.Decode(nl.OID[:])
+	if got != o {
+		t.Fatalf("lookup = %v", got)
+	}
+	var nro proto.NameRemoveOIDArgs
+	nro.DB = odb.DB
+	o.Put(nro.OID[:])
+	if err := p.Call("NameRemoveOID", &nro, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("NameLookup", &proto.NameLookupArgs{DB: odb.DB, Name: "root"}, &nl); err == nil {
+		t.Fatal("name survived RemoveOID over RPC")
+	}
+	if err := p.Call("NameBind", &nb, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("NameUnbind", &proto.NameUnbindArgs{DB: odb.DB, Name: "root"}, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2PC over RPC.
+	var ntx2 proto.NewTxReply
+	p.Call("NewTx", &proto.NewTxArgs{}, &ntx2)
+	if err := p.Call("Prepare", &proto.PrepareArgs{Client: hello.Client, Tx: ntx2.Tx}, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Call("Decide", &proto.DecideArgs{Tx: ntx2.Tx, Commit: false}, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Abort of a never-started tx is a no-op.
+	if err := p.Call("Abort", &proto.AbortArgs{Client: hello.Client, Tx: 999999}, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Released.
+	if err := p.Call("Released", &proto.ReleasedArgs{Client: hello.Client, Seg: cs.Seg}, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Server-side view.
+	info := s.Inspect()
+	if len(info.Databases) != 1 || info.Databases[0].Segments != 1 {
+		t.Fatalf("inspect = %+v", info)
+	}
+	st := s.Snapshot()
+	if st.Messages == 0 || st.Commits == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRPCDisconnectCleans(t *testing.T) {
+	s, p := callPeer(t)
+	var hello proto.HelloReply
+	if err := p.Call("Hello", &proto.HelloArgs{Name: "flaky"}, &hello); err != nil {
+		t.Fatal(err)
+	}
+	var odb proto.OpenDBReply
+	p.Call("OpenDB", &proto.OpenDBArgs{Name: "db", Create: true}, &odb)
+	var cs proto.CreateSegmentReply
+	p.Call("CreateSegment", &proto.CreateSegmentArgs{DB: odb.DB, FileID: 1, SlottedPages: 1, DataPages: 1}, &cs)
+	var ntx proto.NewTxReply
+	p.Call("NewTx", &proto.NewTxArgs{}, &ntx)
+	if err := p.Call("Lock", &proto.LockArgs{Client: hello.Client, Tx: ntx.Tx, Seg: cs.Seg, Mode: proto.LockX}, &proto.Empty{}); err != nil {
+		t.Fatal(err)
+	}
+	p.Close() // connection drops; OnClose disconnects the client
+
+	// Another client can take the lock once the disconnect aborts the tx.
+	c2, err := s.Hello("healthy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2, _ := s.NewTx()
+	deadline := errors.New("")
+	_ = deadline
+	var lockErr error
+	for i := 0; i < 100; i++ {
+		lockErr = s.Lock(c2, tx2, cs.Seg, proto.LockX)
+		if lockErr == nil {
+			break
+		}
+	}
+	if lockErr != nil {
+		t.Fatalf("lock after disconnect: %v", lockErr)
+	}
+}

@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bess/internal/oid"
+	"bess/internal/proto"
+	"bess/internal/rpc"
+)
+
+// ServePeer wires one connected peer to the server: every proto method gets
+// an RPC handler, and the client's callback path (server→client revocation)
+// is routed back over the same connection. It returns after registering;
+// the peer's read loop drives everything.
+func ServePeer(s *Server, p *rpc.Peer) {
+	var clientID uint32
+
+	rpc.HandleFunc(p, "Hello", func(a *proto.HelloArgs) (*proto.HelloReply, error) {
+		id, err := s.Hello(a.Name)
+		if err != nil {
+			return nil, err
+		}
+		clientID = id
+		// Revocations travel back over this connection.
+		err = s.SetCallback(id, func(seg proto.SegKey) (bool, error) {
+			var rep proto.CallbackReply
+			if err := p.Call("Callback", &proto.CallbackArgs{Seg: seg}, &rep); err != nil {
+				return false, err
+			}
+			return rep.Refused, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &proto.HelloReply{Client: id}, nil
+	})
+
+	p.OnClose = func(error) {
+		if clientID != 0 {
+			s.Disconnect(clientID)
+		}
+	}
+
+	rpc.HandleFunc(p, "OpenDB", func(a *proto.OpenDBArgs) (*proto.OpenDBReply, error) {
+		db, host, err := s.OpenDB(a.Name, a.Create)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.OpenDBReply{DB: db, Host: host}, nil
+	})
+	rpc.HandleFunc(p, "NewTx", func(a *proto.NewTxArgs) (*proto.NewTxReply, error) {
+		id, err := s.NewTx()
+		if err != nil {
+			return nil, err
+		}
+		return &proto.NewTxReply{Tx: id}, nil
+	})
+	rpc.HandleFunc(p, "RegisterType", func(a *proto.RegisterTypeArgs) (*proto.RegisterTypeReply, error) {
+		info, err := s.RegisterType(a.DB, a.Info)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.RegisterTypeReply{Info: info}, nil
+	})
+	rpc.HandleFunc(p, "Types", func(a *proto.TypesArgs) (*proto.TypesReply, error) {
+		infos, err := s.Types(a.DB)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.TypesReply{Infos: infos}, nil
+	})
+	rpc.HandleFunc(p, "NewFileID", func(a *proto.NewFileIDArgs) (*proto.NewFileIDReply, error) {
+		id, err := s.NewFileID(a.DB)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.NewFileIDReply{File: id}, nil
+	})
+	rpc.HandleFunc(p, "AddArea", func(a *proto.AddAreaArgs) (*proto.AddAreaReply, error) {
+		id, err := s.AddArea(a.DB)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.AddAreaReply{Area: id}, nil
+	})
+	rpc.HandleFunc(p, "CreateSegment", func(a *proto.CreateSegmentArgs) (*proto.CreateSegmentReply, error) {
+		seg, err := s.CreateSegment(a.DB, a.FileID, a.SlottedPages, a.DataPages, a.AreaHint)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.CreateSegmentReply{Seg: seg}, nil
+	})
+	rpc.HandleFunc(p, "SegInfo", func(a *proto.SegInfoArgs) (*proto.SegInfoReply, error) {
+		n, err := s.SegInfo(a.Seg)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.SegInfoReply{SlottedPages: n}, nil
+	})
+	rpc.HandleFunc(p, "FetchSlotted", func(a *proto.FetchSlottedArgs) (*proto.FetchSlottedReply, error) {
+		sl, ov, err := s.FetchSlotted(a.Client, a.Seg)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.FetchSlottedReply{Slotted: sl, Overflow: ov}, nil
+	})
+	rpc.HandleFunc(p, "FetchData", func(a *proto.FetchDataArgs) (*proto.FetchDataReply, error) {
+		d, err := s.FetchData(a.Client, a.Seg)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.FetchDataReply{Data: d}, nil
+	})
+	rpc.HandleFunc(p, "FetchLarge", func(a *proto.FetchLargeArgs) (*proto.FetchLargeReply, error) {
+		d, err := s.FetchLarge(a.Client, a.Seg, a.Slot)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.FetchLargeReply{Data: d}, nil
+	})
+	rpc.HandleFunc(p, "Resolve", func(a *proto.ResolveArgs) (*proto.ResolveReply, error) {
+		seg, slot, err := s.Resolve(a.DB, a.HeaderOff)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.ResolveReply{Seg: seg, Slot: slot}, nil
+	})
+	rpc.HandleFunc(p, "Lock", func(a *proto.LockArgs) (*proto.Empty, error) {
+		if err := s.Lock(a.Client, a.Tx, a.Seg, a.Mode); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+	rpc.HandleFunc(p, "LockObject", func(a *proto.LockObjectArgs) (*proto.Empty, error) {
+		if err := s.LockObject(a.Client, a.Tx, a.Seg, a.Slot, a.Mode); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+	rpc.HandleFunc(p, "Commit", func(a *proto.CommitArgs) (*proto.Empty, error) {
+		if err := s.Commit(a.Client, a.Tx, a.Segs); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+	rpc.HandleFunc(p, "Abort", func(a *proto.AbortArgs) (*proto.Empty, error) {
+		if err := s.Abort(a.Client, a.Tx); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+	rpc.HandleFunc(p, "Prepare", func(a *proto.PrepareArgs) (*proto.Empty, error) {
+		if err := s.Prepare(a.Client, a.Tx, a.Segs); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+	rpc.HandleFunc(p, "Decide", func(a *proto.DecideArgs) (*proto.Empty, error) {
+		if err := s.Decide(a.Tx, a.Commit); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+	rpc.HandleFunc(p, "SegmentsOf", func(a *proto.SegmentsOfArgs) (*proto.SegmentsOfReply, error) {
+		segs, err := s.SegmentsOf(a.DB, a.FileID)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.SegmentsOfReply{Segs: segs}, nil
+	})
+	rpc.HandleFunc(p, "Released", func(a *proto.ReleasedArgs) (*proto.Empty, error) {
+		if err := s.Released(a.Client, a.Seg); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+	rpc.HandleFunc(p, "CreateLarge", func(a *proto.CreateLargeArgs) (*proto.CreateLargeReply, error) {
+		slot, err := s.CreateLarge(a.Client, a.Tx, a.Seg, a.Type, a.Content)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.CreateLargeReply{Slot: slot}, nil
+	})
+	rpc.HandleFunc(p, "AllocRun", func(a *proto.AllocRunArgs) (*proto.AllocRunReply, error) {
+		areaID, start, granted, err := s.AllocRun(a.DB, a.NPages)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.AllocRunReply{Area: areaID, Start: start, Granted: granted}, nil
+	})
+	rpc.HandleFunc(p, "FreeRun", func(a *proto.RunArgs) (*proto.Empty, error) {
+		if err := s.FreeRun(a.DB, a.Area, a.Start); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+	rpc.HandleFunc(p, "ReadRun", func(a *proto.RunArgs) (*proto.RunReply, error) {
+		d, err := s.ReadRun(a.DB, a.Area, a.Start, a.NPages)
+		if err != nil {
+			return nil, err
+		}
+		return &proto.RunReply{Data: d}, nil
+	})
+	rpc.HandleFunc(p, "WriteRun", func(a *proto.RunArgs) (*proto.Empty, error) {
+		if err := s.WriteRun(a.DB, a.Area, a.Start, a.Data); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+	rpc.HandleFunc(p, "NameBind", func(a *proto.NameBindArgs) (*proto.Empty, error) {
+		o, err := oid.Decode(a.OID[:])
+		if err != nil {
+			return nil, err
+		}
+		if err := s.NameBind(a.DB, a.Name, o); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+	rpc.HandleFunc(p, "NameLookup", func(a *proto.NameLookupArgs) (*proto.NameLookupReply, error) {
+		o, err := s.NameLookup(a.DB, a.Name)
+		if err != nil {
+			return nil, err
+		}
+		var rep proto.NameLookupReply
+		o.Put(rep.OID[:])
+		return &rep, nil
+	})
+	rpc.HandleFunc(p, "NameUnbind", func(a *proto.NameUnbindArgs) (*proto.Empty, error) {
+		if err := s.NameUnbind(a.DB, a.Name); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+	rpc.HandleFunc(p, "NameRemoveOID", func(a *proto.NameRemoveOIDArgs) (*proto.Empty, error) {
+		o, err := oid.Decode(a.OID[:])
+		if err != nil {
+			return nil, err
+		}
+		if err := s.NameRemoveOID(a.DB, o); err != nil {
+			return nil, err
+		}
+		return &proto.Empty{}, nil
+	})
+}

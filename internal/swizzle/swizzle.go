@@ -1,0 +1,909 @@
+// Package swizzle implements the BeSS fast object reference mechanism
+// (paper §2.1): inter-object references are virtual-memory pointers to the
+// headers (slots) of referenced objects, established lazily by three waves
+// of faulting over a simulated address space.
+//
+// Wave 1: when a reference into segment X is first seen, an address range
+// for X's *slotted* segment is reserved and access-protected — nothing is
+// fetched and no memory is consumed (the "less greedy" reservation).
+//
+// Wave 2: the first access to X's slotted range faults; the slotted segment
+// is fetched, mapped write-protected (§2.2), an address range is reserved
+// for X's *data* segment, and every slot's DP field is adjusted to point at
+// the reserved data address — "just two arithmetic operations" per slot.
+//
+// Wave 3: the first access through a DP faults; the data segment is fetched
+// and mapped, and every reference inside the fetched objects is swizzled:
+// targets get wave-1 reservations and the persistent reference bytes are
+// replaced by the virtual address of the target slot.
+package swizzle
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"bess/internal/page"
+	"bess/internal/segment"
+	"bess/internal/vmem"
+)
+
+// SegID identifies an object segment by the location of its slotted segment,
+// which is never relocated (paper §2.1).
+type SegID struct {
+	Area  page.AreaID
+	Start page.No
+}
+
+// String renders the id as area:page.
+func (id SegID) String() string { return fmt.Sprintf("%d:%d", id.Area, id.Start) }
+
+// PRef is a persistent (on-disk) reference: 48-bit header offset within the
+// database, tagged in bit 63 to distinguish it from a swizzled virtual
+// address. PRef 0 is the nil reference in both forms.
+type PRef uint64
+
+// unswizzledTag marks the persistent form of a reference field.
+const unswizzledTag = uint64(1) << 63
+
+// HeaderOffset packs (area, slotted segment start page, slot index) into the
+// 48-bit "offset of the object's header within the database" carried by OIDs
+// and persistent references: 16 bits of area, 32 bits of byte offset.
+func HeaderOffset(id SegID, slot int) uint64 {
+	return uint64(id.Area)<<32 | uint64(id.Start)*page.Size + segment.SlotByteOffset(slot)
+}
+
+// SplitHeaderOffset recovers the area and the byte offset within the area.
+func SplitHeaderOffset(off uint64) (area page.AreaID, byteOff uint64) {
+	return page.AreaID(off >> 32), off & 0xFFFFFFFF
+}
+
+// MakePRef builds the tagged persistent reference for a header offset.
+func MakePRef(headerOff uint64) PRef {
+	if headerOff == 0 {
+		return 0
+	}
+	return PRef(headerOff | unswizzledTag)
+}
+
+// IsSwizzled reports whether the raw 8-byte field value is a virtual address
+// (true) or a tagged persistent reference / nil (false for nil).
+func IsSwizzled(raw uint64) bool { return raw != 0 && raw&unswizzledTag == 0 }
+
+// Fetcher supplies segment images and resolves header offsets. The cache /
+// server layers implement it.
+type Fetcher interface {
+	// SlottedPages returns the size in pages of id's slotted segment, so a
+	// wave-1 reservation can be made without fetching anything.
+	SlottedPages(id SegID) (int, error)
+	// FetchSlotted returns the decoded slotted segment (header + slots +
+	// overflow image).
+	FetchSlotted(id SegID) (*segment.Seg, error)
+	// FetchData returns the data segment bytes for seg
+	// (len = DataPages*page.Size).
+	FetchData(id SegID, seg *segment.Seg) ([]byte, error)
+	// FetchLarge returns the full contents of the transparent large object
+	// in slot (KindLarge), used to populate its reserved range on fault.
+	FetchLarge(id SegID, seg *segment.Seg, slot int) ([]byte, error)
+	// Resolve maps a 48-bit header offset to its segment and slot index.
+	Resolve(headerOff uint64) (SegID, int, error)
+}
+
+// Errors returned by the mapper.
+var (
+	ErrUnknownAddr   = errors.New("swizzle: address does not name a mapped segment")
+	ErrNotSlotAddr   = errors.New("swizzle: address is not an object header")
+	ErrProtected     = errors.New("swizzle: write to protected control structure denied")
+	ErrNoType        = errors.New("swizzle: object type not registered")
+	ErrBadField      = errors.New("swizzle: reference field out of object bounds")
+	ErrLargeSpan     = errors.New("swizzle: operation exceeds large object size")
+	ErrNotLarge      = errors.New("swizzle: slot is not a transparent large object")
+	ErrAlreadyMapped = errors.New("swizzle: segment already mapped")
+)
+
+// segState tracks how far a segment has progressed through the waves.
+type segState uint8
+
+const (
+	stReserved   segState = iota // wave 1 done: slotted range reserved
+	stSlotted                    // wave 2 done: slotted loaded, data range reserved
+	stDataMapped                 // wave 3 done: data fetched and swizzled
+)
+
+// mseg is the per-segment mapping state ("segment handle" in Figure 1).
+type mseg struct {
+	id           SegID
+	state        segState
+	slottedBase  vmem.Addr
+	slottedPages int
+	seg          *segment.Seg
+	dataBase     vmem.Addr // reserved at wave 2
+	dataPages    int
+	slottedImg   []byte // the write-protected mapped image of the slotted segment
+	// dp[i] is slot i's in-memory DP: the virtual address of the object's
+	// data. It mirrors what the paper stores in the mapped slot itself.
+	dp []vmem.Addr
+	// largeBase[i] is the reserved range for a KindLarge slot's object.
+	largeBase map[int]vmem.Addr
+	dirtyData bool
+}
+
+// Stats counts wave activity for one Mapper.
+type Stats struct {
+	Wave1Reservations int64 // slotted ranges reserved
+	Wave2SlottedLoads int64 // slotted segments fetched + data ranges reserved
+	Wave3DataLoads    int64 // data segments fetched
+	RefsSwizzled      int64 // reference fields converted to virtual addresses
+	DPFixups          int64 // slot DP adjustments (two arithmetic ops each)
+	DeniedWrites      int64 // user writes to protected control structures
+	LargeFetches      int64
+}
+
+// Mapper manages one process' view of the database: a vmem.Space plus the
+// per-segment wave state. It is not safe for concurrent use (in BeSS each
+// process faults on its own address space); the client layer serializes.
+type Mapper struct {
+	space *vmem.Space
+	fetch Fetcher
+	types *segment.Registry
+
+	bySeg   map[SegID]*mseg
+	byFrame map[int64]*mseg // frames of slotted + data + large ranges
+
+	stats Stats
+}
+
+// NewMapper wires a mapper to a space, a fetcher, and a type registry, and
+// installs the fault handler (the BeSS "interrupt handler").
+func NewMapper(space *vmem.Space, fetch Fetcher, types *segment.Registry) *Mapper {
+	m := &Mapper{
+		space:   space,
+		fetch:   fetch,
+		types:   types,
+		bySeg:   make(map[SegID]*mseg),
+		byFrame: make(map[int64]*mseg),
+	}
+	space.SetHandler(m.handleFault)
+	return m
+}
+
+// Space returns the underlying address space.
+func (m *Mapper) Space() *vmem.Space { return m.space }
+
+// Stats returns a copy of the wave counters.
+func (m *Mapper) Stats() Stats { return m.stats }
+
+// --- Wave 1 ---
+
+// ReserveSeg performs wave 1 for id: reserve (but do not fetch) its slotted
+// range. Idempotent.
+func (m *Mapper) ReserveSeg(id SegID) (*mseg, error) {
+	if ms, ok := m.bySeg[id]; ok {
+		return ms, nil
+	}
+	n, err := m.fetch.SlottedPages(id)
+	if err != nil {
+		return nil, err
+	}
+	base, err := m.space.Reserve(n)
+	if err != nil {
+		return nil, err
+	}
+	ms := &mseg{id: id, state: stReserved, slottedBase: base, slottedPages: n}
+	m.bySeg[id] = ms
+	for i := 0; i < n; i++ {
+		m.byFrame[base.Frame()+int64(i)] = ms
+	}
+	m.stats.Wave1Reservations++
+	return ms, nil
+}
+
+// SwizzleRef converts a persistent reference into the virtual address of the
+// target slot, reserving the target's slotted segment if needed (wave 1).
+func (m *Mapper) SwizzleRef(p PRef) (vmem.Addr, error) {
+	if p == 0 {
+		return vmem.NilAddr, nil
+	}
+	headerOff := uint64(p) &^ unswizzledTag
+	id, slot, err := m.fetch.Resolve(headerOff)
+	if err != nil {
+		return vmem.NilAddr, err
+	}
+	ms, err := m.ReserveSeg(id)
+	if err != nil {
+		return vmem.NilAddr, err
+	}
+	m.stats.RefsSwizzled++
+	return ms.slottedBase + vmem.Addr(segment.SlotByteOffset(slot)), nil
+}
+
+// UnswizzleAddr converts a slot virtual address back to its persistent form.
+func (m *Mapper) UnswizzleAddr(a vmem.Addr) (PRef, error) {
+	if a == vmem.NilAddr {
+		return 0, nil
+	}
+	ms, ok := m.byFrame[a.Frame()]
+	if !ok {
+		return 0, ErrUnknownAddr
+	}
+	if !m.inSlottedRange(ms, a.Frame()) {
+		return 0, ErrNotSlotAddr
+	}
+	rel := uint64(a - ms.slottedBase)
+	slot, err := segment.SlotIndexForOffset(rel)
+	if err != nil {
+		return 0, ErrNotSlotAddr
+	}
+	return MakePRef(HeaderOffset(ms.id, slot)), nil
+}
+
+// AddrOfSlot returns the virtual address of (id, slot), reserving as needed.
+func (m *Mapper) AddrOfSlot(id SegID, slot int) (vmem.Addr, error) {
+	ms, err := m.ReserveSeg(id)
+	if err != nil {
+		return vmem.NilAddr, err
+	}
+	return ms.slottedBase + vmem.Addr(segment.SlotByteOffset(slot)), nil
+}
+
+// --- Fault handling (waves 2 and 3) ---
+
+// HandleFault is the mapper's fault policy. It is installed on the space by
+// NewMapper; layers that need their own policy for some faults (the detect
+// package grants+records data write faults) install a composite handler
+// that delegates the rest here.
+func (m *Mapper) HandleFault(f vmem.Fault) error { return m.handleFault(f) }
+
+// FrameKind classifies a virtual frame for composite fault handlers.
+type FrameKind uint8
+
+// Frame kinds.
+const (
+	FrameUnknown FrameKind = iota
+	FrameSlotted           // write-protected control structures
+	FrameData              // data segment pages
+	FrameLarge             // transparent large-object range
+)
+
+// FrameInfo reports which segment and which kind of range a frame belongs
+// to, plus the page index within that range.
+func (m *Mapper) FrameInfo(frame int64) (id SegID, kind FrameKind, pageIdx int, ok bool) {
+	ms, found := m.byFrame[frame]
+	if !found {
+		return SegID{}, FrameUnknown, 0, false
+	}
+	switch {
+	case m.inSlottedRange(ms, frame):
+		return ms.id, FrameSlotted, int(frame - ms.slottedBase.Frame()), true
+	case m.inDataRange(ms, frame):
+		return ms.id, FrameData, int(frame - ms.dataBase.Frame()), true
+	default:
+		if slot, isLarge := m.largeSlotForFrame(ms, frame); isLarge {
+			return ms.id, FrameLarge, int(frame - ms.largeBase[slot].Frame()), true
+		}
+		return ms.id, FrameUnknown, 0, true
+	}
+}
+
+func (m *Mapper) handleFault(f vmem.Fault) error {
+	ms, ok := m.byFrame[f.Frame]
+	if !ok {
+		return ErrUnknownAddr
+	}
+	switch f.Kind {
+	case vmem.FaultNoBacking:
+		// Which range does the frame fall in?
+		if m.inSlottedRange(ms, f.Frame) {
+			return m.loadSlotted(ms)
+		}
+		if m.inDataRange(ms, f.Frame) {
+			return m.loadData(ms)
+		}
+		if slot, ok := m.largeSlotForFrame(ms, f.Frame); ok {
+			return m.loadLarge(ms, slot)
+		}
+		return ErrUnknownAddr
+	case vmem.FaultProtWrite:
+		if m.inSlottedRange(ms, f.Frame) {
+			// §2.2: ordinary user code cannot modify the slotted segment.
+			m.stats.DeniedWrites++
+			return ErrProtected
+		}
+		// Data-page write faults belong to the update-detection layer; the
+		// mapper has no policy of its own, so deny. The detect package
+		// installs a composite handler that grants access and records the
+		// update before the mapper ever sees the fault.
+		m.stats.DeniedWrites++
+		return ErrProtected
+	default:
+		return fmt.Errorf("swizzle: unhandled fault %v at %#x", f.Kind, uint64(f.Addr))
+	}
+}
+
+func (m *Mapper) inSlottedRange(ms *mseg, frame int64) bool {
+	b := ms.slottedBase.Frame()
+	return frame >= b && frame < b+int64(ms.slottedPages)
+}
+
+func (m *Mapper) inDataRange(ms *mseg, frame int64) bool {
+	if ms.state < stSlotted {
+		return false
+	}
+	b := ms.dataBase.Frame()
+	return frame >= b && frame < b+int64(ms.dataPages)
+}
+
+func (m *Mapper) largeSlotForFrame(ms *mseg, frame int64) (int, bool) {
+	for slot, base := range ms.largeBase {
+		n := framesFor(int(ms.seg.Slots[slot].Size))
+		if frame >= base.Frame() && frame < base.Frame()+int64(n) {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+func framesFor(n int) int { return (n + page.Size - 1) / page.Size }
+
+// loadSlotted is wave 2: fetch the slotted segment, map it write-protected,
+// reserve the data range, and fix every DP.
+func (m *Mapper) loadSlotted(ms *mseg) error {
+	if ms.state >= stSlotted {
+		return nil
+	}
+	seg, err := m.fetch.FetchSlotted(ms.id)
+	if err != nil {
+		return err
+	}
+	ms.seg = seg
+	ms.dataPages = int(seg.Hdr.DataPages)
+	if ms.dataPages == 0 {
+		ms.dataPages = 1 // always reserve something so DPs are valid addresses
+	}
+	dataBase, err := m.space.Reserve(ms.dataPages)
+	if err != nil {
+		return err
+	}
+	ms.dataBase = dataBase
+	for i := 0; i < ms.dataPages; i++ {
+		m.byFrame[dataBase.Frame()+int64(i)] = ms
+	}
+	// Map the slotted image write-protected: readable, not writable (§2.2).
+	img := seg.EncodeSlotted()
+	ms.slottedImg = img
+	for i := 0; i < ms.slottedPages && i < int(seg.Hdr.SlottedPages); i++ {
+		fr := img[i*page.Size : (i+1)*page.Size]
+		if err := m.space.Map(ms.slottedBase+vmem.Addr(i*page.Size), fr, vmem.ProtRead); err != nil {
+			return err
+		}
+	}
+	// Fix the DP of every live slot: dataBase + DataOff — the paper's "two
+	// arithmetic operations". Transparent large objects instead get their
+	// own reserved, access-protected range big enough for the whole object.
+	ms.dp = make([]vmem.Addr, len(seg.Slots))
+	ms.largeBase = make(map[int]vmem.Addr)
+	for i := range seg.Slots {
+		sl := &seg.Slots[i]
+		switch sl.Kind {
+		case segment.KindSmall, segment.KindForward:
+			ms.dp[i] = ms.dataBase + vmem.Addr(sl.DataOff)
+			m.stats.DPFixups++
+		case segment.KindLarge:
+			n := framesFor(int(sl.Size))
+			if n == 0 {
+				n = 1
+			}
+			base, err := m.space.Reserve(n)
+			if err != nil {
+				return err
+			}
+			ms.largeBase[i] = base
+			ms.dp[i] = base
+			for f := 0; f < n; f++ {
+				m.byFrame[base.Frame()+int64(f)] = ms
+			}
+			m.stats.DPFixups++
+		}
+	}
+	ms.state = stSlotted
+	m.stats.Wave2SlottedLoads++
+	return nil
+}
+
+// loadData is wave 3: fetch the data segment, map it, and swizzle every
+// reference in every object present.
+func (m *Mapper) loadData(ms *mseg) error {
+	if ms.state >= stDataMapped {
+		return nil
+	}
+	data, err := m.fetch.FetchData(ms.id, ms.seg)
+	if err != nil {
+		return err
+	}
+	if len(data) < ms.dataPages*page.Size {
+		grown := make([]byte, ms.dataPages*page.Size)
+		copy(grown, data)
+		data = grown
+	}
+	ms.seg.Data = data
+	// Swizzle references before the pages become visible.
+	if err := m.swizzleDataRefs(ms); err != nil {
+		return err
+	}
+	for i := 0; i < ms.dataPages; i++ {
+		fr := data[i*page.Size : (i+1)*page.Size]
+		if err := m.space.Map(ms.dataBase+vmem.Addr(i*page.Size), fr, vmem.ProtRead); err != nil {
+			return err
+		}
+	}
+	ms.state = stDataMapped
+	m.stats.Wave3DataLoads++
+	return nil
+}
+
+// swizzleDataRefs walks the type descriptor of every object in the fetched
+// data segment and swizzles each reference (wave 3 → triggers wave 1 for
+// the targets).
+func (m *Mapper) swizzleDataRefs(ms *mseg) error {
+	for _, i := range ms.seg.LiveSlots() {
+		sl := ms.seg.Slots[i]
+		if sl.Kind != segment.KindSmall {
+			continue
+		}
+		td := m.types.Lookup(sl.Type)
+		if td == nil {
+			continue // typeless blob: no references to fix
+		}
+		obj := ms.seg.Data[sl.DataOff : sl.DataOff+uint64(sl.Size)]
+		for _, off := range td.RefOffsets {
+			if off+segment.RefSize > len(obj) {
+				return ErrBadField
+			}
+			raw := binary.BigEndian.Uint64(obj[off:])
+			if raw == 0 || IsSwizzled(raw) {
+				continue
+			}
+			a, err := m.SwizzleRef(PRef(raw))
+			if err != nil {
+				return err
+			}
+			binary.BigEndian.PutUint64(obj[off:], uint64(a))
+		}
+	}
+	return nil
+}
+
+// loadLarge populates a transparent large object's reserved range: "the
+// actual object data may be fetched from the network in one step" (§2.1).
+func (m *Mapper) loadLarge(ms *mseg, slot int) error {
+	base := ms.largeBase[slot]
+	if _, mapped, _ := m.space.ProtOf(base); mapped {
+		return nil
+	}
+	content, err := m.fetch.FetchLarge(ms.id, ms.seg, slot)
+	if err != nil {
+		return err
+	}
+	n := framesFor(int(ms.seg.Slots[slot].Size))
+	padded := make([]byte, n*page.Size)
+	copy(padded, content)
+	for i := 0; i < n; i++ {
+		fr := padded[i*page.Size : (i+1)*page.Size]
+		if err := m.space.Map(base+vmem.Addr(i*page.Size), fr, vmem.ProtRead); err != nil {
+			return err
+		}
+	}
+	m.stats.LargeFetches++
+	return nil
+}
+
+// --- Object access ---
+
+// Object is a dereferenced handle: the in-memory face of one object header.
+type Object struct {
+	m    *Mapper
+	ms   *mseg
+	Slot int
+	Addr vmem.Addr // virtual address of the slot (the reference value)
+	DP   vmem.Addr // virtual address of the object's data
+	Size int
+	Type segment.TypeID
+	Kind segment.Kind
+}
+
+// Deref resolves a reference (a slot virtual address), triggering waves as
+// needed, and returns the object handle. This is the hot path the paper
+// optimizes: after the first access it is a map lookup plus two additions.
+func (m *Mapper) Deref(ref vmem.Addr) (*Object, error) {
+	if ref == vmem.NilAddr {
+		return nil, ErrUnknownAddr
+	}
+	ms, ok := m.byFrame[ref.Frame()]
+	if !ok {
+		return nil, ErrUnknownAddr
+	}
+	if !m.inSlottedRange(ms, ref.Frame()) {
+		return nil, ErrNotSlotAddr
+	}
+	if ms.state < stSlotted {
+		// Touch the slot address: faults, wave 2 runs.
+		if err := m.space.Touch(ref, false); err != nil {
+			return nil, err
+		}
+	}
+	rel := uint64(ref - ms.slottedBase)
+	slot, err := segment.SlotIndexForOffset(rel)
+	if err != nil {
+		return nil, ErrNotSlotAddr
+	}
+	if slot >= len(ms.seg.Slots) || !ms.seg.Live(slot) {
+		return nil, segment.ErrBadSlot
+	}
+	sl := ms.seg.Slots[slot]
+	return &Object{
+		m: m, ms: ms, Slot: slot, Addr: ref,
+		DP:   ms.dp[slot],
+		Size: int(sl.Size),
+		Type: sl.Type,
+		Kind: sl.Kind,
+	}, nil
+}
+
+// Read copies n bytes at byte offset off of the object into buf, faulting
+// the data segment in (wave 3) on first access.
+func (o *Object) Read(off int, buf []byte) error {
+	if off < 0 || off+len(buf) > o.Size {
+		return ErrBadField
+	}
+	return o.m.space.ReadRange(o.DP+vmem.Addr(off), buf)
+}
+
+// Write copies buf into the object at byte offset off, subject to the
+// space's write protection: the first write faults and the installed
+// update-detection policy decides (grant + record, or deny).
+func (o *Object) Write(off int, buf []byte) error {
+	if off < 0 || off+len(buf) > o.Size {
+		return ErrBadField
+	}
+	if err := o.m.space.WriteRange(o.DP+vmem.Addr(off), buf); err != nil {
+		return err
+	}
+	o.ms.dirtyData = true
+	return nil
+}
+
+// Bytes returns the object's bytes in place (trusted; no protection checks).
+// The data segment is faulted in if needed.
+func (o *Object) Bytes() ([]byte, error) {
+	if err := o.m.space.Touch(o.DP, false); err != nil {
+		return nil, err
+	}
+	if o.Kind == segment.KindLarge {
+		buf := make([]byte, o.Size)
+		if err := o.m.space.ReadRange(o.DP, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	return o.ms.seg.Data[o.ms.seg.Slots[o.Slot].DataOff : o.ms.seg.Slots[o.Slot].DataOff+uint64(o.Size)], nil
+}
+
+// RefField returns the swizzled reference stored at field byte offset off.
+// Reading it faults the data in; the stored value is a slot virtual address
+// ready for another Deref — pointer-chasing is two Derefs and no table
+// lookups, the paper's headline property.
+func (o *Object) RefField(off int) (vmem.Addr, error) {
+	var b [segment.RefSize]byte
+	if err := o.Read(off, b[:]); err != nil {
+		return vmem.NilAddr, err
+	}
+	raw := binary.BigEndian.Uint64(b[:])
+	if raw != 0 && !IsSwizzled(raw) {
+		// Lazily swizzle a field written in persistent form.
+		a, err := o.m.SwizzleRef(PRef(raw))
+		if err != nil {
+			return vmem.NilAddr, err
+		}
+		return a, nil
+	}
+	return vmem.Addr(raw), nil
+}
+
+// SetRefField stores a reference (slot virtual address) at field offset off.
+func (o *Object) SetRefField(off int, target vmem.Addr) error {
+	var b [segment.RefSize]byte
+	binary.BigEndian.PutUint64(b[:], uint64(target))
+	return o.Write(off, b[:])
+}
+
+// --- Maintenance: flush, relocation, and release ---
+
+// DirtySegs returns the ids of segments whose data has been written through
+// this mapper.
+func (m *Mapper) DirtySegs() []SegID {
+	var out []SegID
+	for id, ms := range m.bySeg {
+		if ms.dirtyData {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// UnswizzledData returns a copy of the segment's data with every reference
+// field converted back to persistent form, ready to be written to disk.
+func (m *Mapper) UnswizzledData(id SegID) ([]byte, *segment.Seg, error) {
+	ms, ok := m.bySeg[id]
+	if !ok || ms.state < stDataMapped {
+		return nil, nil, ErrUnknownAddr
+	}
+	out := append([]byte(nil), ms.seg.Data...)
+	for _, i := range ms.seg.LiveSlots() {
+		sl := ms.seg.Slots[i]
+		if sl.Kind != segment.KindSmall {
+			continue
+		}
+		td := m.types.Lookup(sl.Type)
+		if td == nil {
+			continue
+		}
+		obj := out[sl.DataOff : sl.DataOff+uint64(sl.Size)]
+		for _, off := range td.RefOffsets {
+			raw := binary.BigEndian.Uint64(obj[off:])
+			if !IsSwizzled(raw) {
+				continue
+			}
+			p, err := m.UnswizzleAddr(vmem.Addr(raw))
+			if err != nil {
+				return nil, nil, err
+			}
+			binary.BigEndian.PutUint64(obj[off:], uint64(p))
+		}
+	}
+	return out, ms.seg, nil
+}
+
+// MarkClean clears the dirty flag after a successful flush.
+func (m *Mapper) MarkClean(id SegID) {
+	if ms, ok := m.bySeg[id]; ok {
+		ms.dirtyData = false
+	}
+}
+
+// Seg returns the decoded segment for id if its slotted part is loaded.
+func (m *Mapper) Seg(id SegID) (*segment.Seg, bool) {
+	ms, ok := m.bySeg[id]
+	if !ok || ms.state < stSlotted {
+		return nil, false
+	}
+	return ms.seg, true
+}
+
+// DataBase returns the reserved data-segment base address for id.
+func (m *Mapper) DataBase(id SegID) (vmem.Addr, bool) {
+	ms, ok := m.bySeg[id]
+	if !ok || ms.state < stSlotted {
+		return vmem.NilAddr, false
+	}
+	return ms.dataBase, true
+}
+
+// RelocateData re-homes a loaded segment's data (compaction, resizing, or
+// movement between storage areas — §2.1's on-the-fly reorganization). The
+// caller has already rewritten seg.Hdr geometry and seg.Data; the mapper
+// releases the old reserved range, reserves a new one, re-fixes every DP,
+// and remaps. Existing references (slot addresses) remain valid throughout.
+func (m *Mapper) RelocateData(id SegID) error {
+	ms, ok := m.bySeg[id]
+	if !ok || ms.state < stSlotted {
+		return ErrUnknownAddr
+	}
+	// Tear down the old data mapping.
+	for i := 0; i < ms.dataPages; i++ {
+		delete(m.byFrame, ms.dataBase.Frame()+int64(i))
+	}
+	if err := m.space.Release(ms.dataBase, ms.dataPages); err != nil {
+		return err
+	}
+	wasMapped := ms.state == stDataMapped
+	ms.dataPages = int(ms.seg.Hdr.DataPages)
+	if ms.dataPages == 0 {
+		ms.dataPages = 1
+	}
+	base, err := m.space.Reserve(ms.dataPages)
+	if err != nil {
+		return err
+	}
+	ms.dataBase = base
+	for i := 0; i < ms.dataPages; i++ {
+		m.byFrame[base.Frame()+int64(i)] = ms
+	}
+	for i := range ms.seg.Slots {
+		sl := &ms.seg.Slots[i]
+		if sl.Kind == segment.KindSmall || sl.Kind == segment.KindForward {
+			ms.dp[i] = base + vmem.Addr(sl.DataOff)
+			m.stats.DPFixups++
+		}
+	}
+	if wasMapped {
+		if len(ms.seg.Data) < ms.dataPages*page.Size {
+			grown := make([]byte, ms.dataPages*page.Size)
+			copy(grown, ms.seg.Data)
+			ms.seg.Data = grown
+		}
+		for i := 0; i < ms.dataPages; i++ {
+			fr := ms.seg.Data[i*page.Size : (i+1)*page.Size]
+			if err := m.space.Map(base+vmem.Addr(i*page.Size), fr, vmem.ProtRead); err != nil {
+				return err
+			}
+		}
+		ms.state = stDataMapped
+	} else {
+		ms.state = stSlotted
+	}
+	return nil
+}
+
+// EvictData unmaps a segment's data pages (cache replacement took the
+// slots); the reservation stays so DPs remain valid and the next access
+// re-faults.
+func (m *Mapper) EvictData(id SegID) error {
+	ms, ok := m.bySeg[id]
+	if !ok || ms.state < stDataMapped {
+		return ErrUnknownAddr
+	}
+	for i := 0; i < ms.dataPages; i++ {
+		if err := m.space.Unmap(ms.dataBase + vmem.Addr(i*page.Size)); err != nil {
+			return err
+		}
+	}
+	ms.state = stSlotted
+	ms.seg.Data = nil
+	return nil
+}
+
+// TrustedSlotUpdate performs a trusted modification of the write-protected
+// slotted image: it unprotects the affected page, applies fn to the decoded
+// segment, rewrites the image, and reprotects (paper §2.2). The protect /
+// unprotect pair is what E7 counts.
+func (m *Mapper) TrustedSlotUpdate(id SegID, fn func(*segment.Seg) error) error {
+	ms, ok := m.bySeg[id]
+	if !ok || ms.state < stSlotted {
+		return ErrUnknownAddr
+	}
+	if err := m.space.Protect(ms.slottedBase, ms.slottedPages, vmem.ProtReadWrite); err != nil {
+		return err
+	}
+	ferr := fn(ms.seg)
+	if ferr == nil {
+		// Refresh the mapped image in place so user-visible bytes match.
+		img := ms.seg.EncodeSlotted()
+		for i := 0; i < ms.slottedPages && (i+1)*page.Size <= len(img); i++ {
+			if err := m.space.WriteAt(ms.slottedBase+vmem.Addr(i*page.Size), img[i*page.Size:(i+1)*page.Size]); err != nil {
+				return err
+			}
+		}
+		// Re-fix the DPs: the update may have created, moved, or resized
+		// objects (two arithmetic operations per slot, as at load).
+		for i := range ms.seg.Slots {
+			sl := &ms.seg.Slots[i]
+			if sl.Kind == segment.KindSmall || sl.Kind == segment.KindForward {
+				ms.dp[i] = ms.dataBase + vmem.Addr(sl.DataOff)
+				m.stats.DPFixups++
+			}
+		}
+	}
+	if err := m.space.Protect(ms.slottedBase, ms.slottedPages, vmem.ProtRead); err != nil {
+		return err
+	}
+	return ferr
+}
+
+// EnsureLoaded forces wave 2 for id (reserve + fetch slotted) without
+// dereferencing any particular object.
+func (m *Mapper) EnsureLoaded(id SegID) error {
+	ms, err := m.ReserveSeg(id)
+	if err != nil {
+		return err
+	}
+	if ms.state >= stSlotted {
+		return nil
+	}
+	return m.loadSlotted(ms)
+}
+
+// EnsureData forces wave 3 for id (fetch + swizzle the data segment).
+func (m *Mapper) EnsureData(id SegID) error {
+	if err := m.EnsureLoaded(id); err != nil {
+		return err
+	}
+	ms := m.bySeg[id]
+	if ms.state >= stDataMapped {
+		return nil
+	}
+	return m.loadData(ms)
+}
+
+// MarkDataDirty flags id's data as modified through a trusted path (object
+// creation writes via the decoded segment, not the protected space).
+func (m *Mapper) MarkDataDirty(id SegID) {
+	if ms, ok := m.bySeg[id]; ok {
+		ms.dirtyData = true
+	}
+}
+
+// DropSeg evicts a segment entirely: its slotted and data reservations are
+// released and the next reference to it restarts at wave 1. Callback
+// revocation uses this to drop a cached copy.
+func (m *Mapper) DropSeg(id SegID) error {
+	ms, ok := m.bySeg[id]
+	if !ok {
+		return nil
+	}
+	for i := 0; i < ms.slottedPages; i++ {
+		delete(m.byFrame, ms.slottedBase.Frame()+int64(i))
+	}
+	if err := m.space.Release(ms.slottedBase, ms.slottedPages); err != nil {
+		return err
+	}
+	if ms.state >= stSlotted {
+		for i := 0; i < ms.dataPages; i++ {
+			delete(m.byFrame, ms.dataBase.Frame()+int64(i))
+		}
+		if err := m.space.Release(ms.dataBase, ms.dataPages); err != nil {
+			return err
+		}
+		for slot, base := range ms.largeBase {
+			n := framesFor(int(ms.seg.Slots[slot].Size))
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				delete(m.byFrame, base.Frame()+int64(i))
+			}
+			if err := m.space.Release(base, n); err != nil {
+				return err
+			}
+		}
+	}
+	delete(m.bySeg, id)
+	return nil
+}
+
+// CachedSegs lists every segment this mapper has reserved or loaded.
+func (m *Mapper) CachedSegs() []SegID {
+	out := make([]SegID, 0, len(m.bySeg))
+	for id := range m.bySeg {
+		out = append(out, id)
+	}
+	return out
+}
+
+// DataRange describes one segment's mapped data range.
+type DataRange struct {
+	ID    SegID
+	Base  vmem.Addr
+	Pages int
+}
+
+// MappedDataRanges lists the data ranges currently mapped (wave 3 done);
+// the detect layer walks them to re-protect pages between transactions.
+func (m *Mapper) MappedDataRanges() []DataRange {
+	var out []DataRange
+	for id, ms := range m.bySeg {
+		if ms.state == stDataMapped {
+			out = append(out, DataRange{ID: id, Base: ms.dataBase, Pages: ms.dataPages})
+		}
+	}
+	return out
+}
+
+// SlottedBase exposes the reserved base address of a segment's slotted
+// range (tests and the shm layer use it).
+func (m *Mapper) SlottedBase(id SegID) (vmem.Addr, bool) {
+	ms, ok := m.bySeg[id]
+	if !ok {
+		return vmem.NilAddr, false
+	}
+	return ms.slottedBase, true
+}

@@ -1,0 +1,183 @@
+package swizzle
+
+import (
+	"errors"
+	"testing"
+
+	"bess/internal/segment"
+	"bess/internal/vmem"
+)
+
+func TestSegIDString(t *testing.T) {
+	if (SegID{Area: 3, Start: 99}).String() != "3:99" {
+		t.Fatal("SegID string")
+	}
+}
+
+func TestDropSegReleasesEverything(t *testing.T) {
+	f, reg, idA, _ := buildGraph(t)
+	m := NewMapper(vmem.New(), f, reg)
+	addr, _ := m.AddrOfSlot(idA, 0)
+	obj, _ := m.Deref(addr)
+	if _, err := obj.RefField(0); err != nil {
+		t.Fatal(err)
+	}
+	before := m.Space().Snapshot()
+	if before.ReservedFrames == 0 {
+		t.Fatal("nothing reserved")
+	}
+	if err := m.DropSeg(idA); err != nil {
+		t.Fatal(err)
+	}
+	// The segment's frames are gone; deref of the old address fails.
+	if _, err := m.Deref(addr); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("deref after drop: %v", err)
+	}
+	// Dropping again is a no-op.
+	if err := m.DropSeg(idA); err != nil {
+		t.Fatal(err)
+	}
+	// Re-reserving works and reloads fresh state.
+	addr2, err := m.AddrOfSlot(idA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Deref(addr2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropSegWithLargeObjects(t *testing.T) {
+	reg := segment.NewRegistry()
+	id := SegID{Area: 1, Start: 10}
+	s := segment.New(1, 1, 1, 1, 100)
+	s.EnsureOverflow(1)
+	content := make([]byte, 10000)
+	slot, _ := s.CreateDescriptor(segment.KindLarge, 0, uint32(len(content)), []byte("loc"))
+	f := newMemFetcher()
+	f.add(id, s)
+	f.large[id] = map[int][]byte{slot: content}
+	m := NewMapper(vmem.New(), f, reg)
+	addr, _ := m.AddrOfSlot(id, slot)
+	obj, _ := m.Deref(addr)
+	if err := obj.Read(0, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DropSeg(id); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Space().Snapshot()
+	if snap.ReservedFrames != 0 {
+		t.Fatalf("frames leaked after drop: %d", snap.ReservedFrames)
+	}
+}
+
+func TestCachedSegs(t *testing.T) {
+	f, reg, idA, idB := buildGraph(t)
+	m := NewMapper(vmem.New(), f, reg)
+	if len(m.CachedSegs()) != 0 {
+		t.Fatal("fresh mapper has cached segs")
+	}
+	m.ReserveSeg(idA)
+	m.ReserveSeg(idB)
+	if len(m.CachedSegs()) != 2 {
+		t.Fatalf("cached = %v", m.CachedSegs())
+	}
+}
+
+func TestEnsureLoadedAndData(t *testing.T) {
+	f, reg, idA, _ := buildGraph(t)
+	m := NewMapper(vmem.New(), f, reg)
+	if err := m.EnsureLoaded(idA); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Seg(idA); !ok {
+		t.Fatal("not loaded")
+	}
+	if err := m.EnsureLoaded(idA); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := m.EnsureData(idA); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.EnsureData(idA); err != nil {
+		t.Fatal(err)
+	}
+	if f.dataFetches != 1 {
+		t.Fatalf("data fetched %d times", f.dataFetches)
+	}
+}
+
+func TestUnswizzledDataErrors(t *testing.T) {
+	f, reg, idA, _ := buildGraph(t)
+	m := NewMapper(vmem.New(), f, reg)
+	// Not loaded at all.
+	if _, _, err := m.UnswizzledData(idA); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("unloaded: %v", err)
+	}
+	// Slotted loaded but data not mapped.
+	if err := m.EnsureLoaded(idA); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.UnswizzledData(idA); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("no data: %v", err)
+	}
+}
+
+func TestTrustedSlotUpdateErrors(t *testing.T) {
+	f, reg, idA, _ := buildGraph(t)
+	m := NewMapper(vmem.New(), f, reg)
+	// Unloaded segment.
+	if err := m.TrustedSlotUpdate(idA, func(*segment.Seg) error { return nil }); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("unloaded: %v", err)
+	}
+	m.EnsureLoaded(idA)
+	boom := errors.New("boom")
+	if err := m.TrustedSlotUpdate(idA, func(*segment.Seg) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("fn error: %v", err)
+	}
+	// Protection restored after the failed update.
+	addr, _ := m.AddrOfSlot(idA, 0)
+	if err := m.Space().WriteAt(addr, []byte{1}); !errors.Is(err, vmem.ErrViolation) {
+		t.Fatalf("slotted writable after failed trusted update: %v", err)
+	}
+}
+
+func TestRelocateAndEvictErrors(t *testing.T) {
+	f, reg, idA, _ := buildGraph(t)
+	m := NewMapper(vmem.New(), f, reg)
+	if err := m.RelocateData(idA); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("relocate unloaded: %v", err)
+	}
+	if err := m.EvictData(idA); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("evict unloaded: %v", err)
+	}
+	m.EnsureLoaded(idA)
+	if err := m.EvictData(idA); !errors.Is(err, ErrUnknownAddr) {
+		t.Fatalf("evict without data: %v", err)
+	}
+	// Relocate without data mapped (state stays slotted).
+	seg, _ := m.Seg(idA)
+	seg.MoveData(2, 500)
+	if err := m.RelocateData(idA); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.DataBase(idA); !ok {
+		t.Fatal("data base missing after relocate")
+	}
+}
+
+func TestStatsProgression(t *testing.T) {
+	f, reg, idA, _ := buildGraph(t)
+	m := NewMapper(vmem.New(), f, reg)
+	addr, _ := m.AddrOfSlot(idA, 0)
+	obj, _ := m.Deref(addr)
+	obj.RefField(0)
+	st := m.Stats()
+	if st.Wave1Reservations == 0 || st.Wave2SlottedLoads == 0 || st.Wave3DataLoads == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.DPFixups == 0 || st.RefsSwizzled == 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,323 @@
+package tx
+
+import (
+	"testing"
+	"time"
+
+	"bess/internal/hooks"
+	"bess/internal/lock"
+	"bess/internal/page"
+	"bess/internal/wal"
+)
+
+// memPager mirrors the wal test pager.
+type memPager struct{ pages map[page.ID][]byte }
+
+func newMemPager() *memPager { return &memPager{pages: make(map[page.ID][]byte)} }
+
+func (p *memPager) ReadPage(id page.ID, buf []byte) error {
+	if pg, ok := p.pages[id]; ok {
+		copy(buf, pg)
+		return nil
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	return nil
+}
+
+func (p *memPager) WritePage(id page.ID, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	p.pages[id] = cp
+	return nil
+}
+
+func (p *memPager) set(id page.ID, off int, b []byte) {
+	buf := make([]byte, page.Size)
+	p.ReadPage(id, buf)
+	copy(buf[off:], b)
+	p.WritePage(id, buf)
+}
+
+func (p *memPager) get(id page.ID, off, n int) []byte {
+	buf := make([]byte, page.Size)
+	p.ReadPage(id, buf)
+	return buf[off : off+n]
+}
+
+func newEnv() (*Manager, *memPager, *wal.Log, *hooks.Registry) {
+	l := wal.NewMem()
+	lm := lock.NewManager()
+	pg := newMemPager()
+	hk := hooks.NewRegistry()
+	return NewManager(l, lm, pg, hk), pg, l, hk
+}
+
+func TestCommitForcesLog(t *testing.T) {
+	m, pg, l, _ := newEnv()
+	pid := page.ID{Area: 1, Page: 3}
+	tr := m.Begin()
+	if tr.State() != Active {
+		t.Fatal("not active")
+	}
+	if _, err := tr.LogUpdate(pid, 0, []byte{0, 0, 0}, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	pg.set(pid, 0, []byte("abc"))
+	if l.FlushedLSN() != wal.FirstLSN() {
+		t.Fatal("log flushed before commit")
+	}
+	if err := tr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if l.FlushedLSN() <= wal.FirstLSN() {
+		t.Fatal("commit did not force the log")
+	}
+	if tr.State() != Committed {
+		t.Fatalf("state = %v", tr.State())
+	}
+	if c, _ := m.Counts(); c != 1 {
+		t.Fatalf("commits = %d", c)
+	}
+	if m.ActiveCount() != 0 {
+		t.Fatal("tx still active")
+	}
+	// Further operations fail.
+	if _, err := tr.LogUpdate(pid, 0, nil, nil); err != ErrNotActive {
+		t.Fatalf("update after commit: %v", err)
+	}
+	if err := tr.Commit(); err != ErrNotActive {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+func TestAbortRollsBack(t *testing.T) {
+	m, pg, _, _ := newEnv()
+	pid := page.ID{Area: 1, Page: 3}
+	pg.set(pid, 0, []byte("old-value"))
+
+	tr := m.Begin()
+	before := pg.get(pid, 0, 9)
+	tr.LogUpdate(pid, 0, before, []byte("new-value"))
+	pg.set(pid, 0, []byte("new-value"))
+	tr.LogUpdate(pid, 20, []byte{0, 0}, []byte("zz"))
+	pg.set(pid, 20, []byte("zz"))
+
+	if err := tr.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if string(pg.get(pid, 0, 9)) != "old-value" {
+		t.Fatalf("first update not undone: %q", pg.get(pid, 0, 9))
+	}
+	if got := pg.get(pid, 20, 2); got[0] != 0 || got[1] != 0 {
+		t.Fatalf("second update not undone: %v", got)
+	}
+	if tr.State() != Aborted {
+		t.Fatalf("state = %v", tr.State())
+	}
+	if _, a := m.Counts(); a != 1 {
+		t.Fatalf("aborts = %d", a)
+	}
+}
+
+func TestLocksReleasedAtEnd(t *testing.T) {
+	m, _, _, _ := newEnv()
+	name := lock.PageName(1, 10, 0)
+	t1 := m.Begin()
+	if err := t1.Lock(name, lock.X); err != nil {
+		t.Fatal(err)
+	}
+	t2 := m.Begin()
+	m.LockTimeout = 20 * time.Millisecond
+	if err := t2.Lock(name, lock.X); err != lock.ErrTimeout {
+		t.Fatalf("conflicting lock: %v", err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Lock(name, lock.X); err != nil {
+		t.Fatalf("lock after release: %v", err)
+	}
+	t2.Abort()
+}
+
+func TestHooksFire(t *testing.T) {
+	m, _, _, hk := newEnv()
+	var events []hooks.Event
+	for _, e := range []hooks.Event{hooks.EvTxBegin, hooks.EvTxCommit, hooks.EvTxAbort} {
+		e := e
+		hk.Register(e, func(i *hooks.Info) error {
+			events = append(events, i.Event)
+			return nil
+		})
+	}
+	t1 := m.Begin()
+	t1.Commit()
+	t2 := m.Begin()
+	t2.Abort()
+	want := []hooks.Event{hooks.EvTxBegin, hooks.EvTxCommit, hooks.EvTxBegin, hooks.EvTxAbort}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v", events)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v", events)
+		}
+	}
+}
+
+func TestCrashAfterCommitRecovers(t *testing.T) {
+	m, pg, l, _ := newEnv()
+	pid := page.ID{Area: 1, Page: 1}
+	tr := m.Begin()
+	tr.LogUpdate(pid, 0, []byte{0, 0, 0, 0}, []byte("DATA"))
+	// Page write is lost (never reached "disk"): no-force.
+	if err := tr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash and restart.
+	crashed, err := wal.OpenMemFrom(l.DurableBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := wal.Recover(crashed, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Winners) != 1 {
+		t.Fatalf("winners = %v", st.Winners)
+	}
+	if string(pg.get(pid, 0, 4)) != "DATA" {
+		t.Fatal("committed data lost across crash")
+	}
+}
+
+func TestCrashMidTransactionRollsBack(t *testing.T) {
+	m, pg, l, _ := newEnv()
+	pid := page.ID{Area: 1, Page: 1}
+	tr := m.Begin()
+	tr.LogUpdate(pid, 0, []byte{0, 0, 0}, []byte("BAD"))
+	pg.set(pid, 0, []byte("BAD"))
+	l.Flush(0) // stolen page forced the WAL
+	// Crash before commit.
+	crashed, err := wal.OpenMemFrom(l.DurableBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := wal.Recover(crashed, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Losers) != 1 || st.Losers[0] != tr.ID() {
+		t.Fatalf("losers = %v", st.Losers)
+	}
+	if got := pg.get(pid, 0, 3); got[0] != 0 {
+		t.Fatalf("loser survived: %q", got)
+	}
+}
+
+func TestPrepareMakesTxInDoubt(t *testing.T) {
+	m, pg, l, _ := newEnv()
+	pid := page.ID{Area: 1, Page: 2}
+	tr := m.Begin()
+	tr.LogUpdate(pid, 0, []byte{0}, []byte{9})
+	pg.set(pid, 0, []byte{9})
+	if err := tr.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.State() != Prepared {
+		t.Fatalf("state = %v", tr.State())
+	}
+	// Crash: the prepared tx is in doubt, its effect is neither undone nor
+	// committed.
+	crashed, _ := wal.OpenMemFrom(l.DurableBytes())
+	st, err := wal.Recover(crashed, pg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.InDoubt) != 1 || st.InDoubt[0] != tr.ID() {
+		t.Fatalf("in-doubt = %v", st.InDoubt)
+	}
+	if len(st.Losers) != 0 {
+		t.Fatalf("prepared tx treated as loser: %v", st.Losers)
+	}
+	if pg.get(pid, 0, 1)[0] != 9 {
+		t.Fatal("prepared effect undone before decision")
+	}
+}
+
+func TestPreparedTxCanCommitOrAbort(t *testing.T) {
+	m, pg, _, _ := newEnv()
+	pid := page.ID{Area: 1, Page: 2}
+	tr := m.Begin()
+	tr.LogUpdate(pid, 0, []byte{0}, []byte{7})
+	pg.set(pid, 0, []byte{7})
+	tr.Prepare()
+	if err := tr.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr2 := m.Begin()
+	tr2.LogUpdate(pid, 1, []byte{0}, []byte{8})
+	pg.set(pid, 1, []byte{8})
+	tr2.Prepare()
+	if err := tr2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if pg.get(pid, 0, 1)[0] != 7 {
+		t.Fatal("committed branch lost")
+	}
+	if pg.get(pid, 1, 1)[0] != 0 {
+		t.Fatal("aborted branch survived")
+	}
+}
+
+func TestCheckpointCapturesActiveState(t *testing.T) {
+	m, pg, l, _ := newEnv()
+	pid := page.ID{Area: 1, Page: 4}
+	tr := m.Begin()
+	tr.LogUpdate(pid, 0, []byte{0}, []byte{1})
+	pg.set(pid, 0, []byte{1})
+	lsn, err := m.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := l.ReadRecord(lsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.ActiveTxs) != 1 || rec.ActiveTxs[0].Tx != tr.ID() {
+		t.Fatalf("checkpoint active txs = %+v", rec.ActiveTxs)
+	}
+	if len(rec.DirtyPages) != 1 || rec.DirtyPages[0].Page != pid {
+		t.Fatalf("checkpoint dirty pages = %+v", rec.DirtyPages)
+	}
+	tr.Abort()
+}
+
+func TestBeginWithID(t *testing.T) {
+	m, _, _, _ := newEnv()
+	tr := m.BeginWithID(500)
+	if tr.ID() != 500 {
+		t.Fatalf("id = %d", tr.ID())
+	}
+	// Next auto id is above.
+	tr2 := m.Begin()
+	if tr2.ID() <= 500 {
+		t.Fatalf("auto id %d not advanced", tr2.ID())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate BeginWithID did not panic")
+		}
+	}()
+	m.BeginWithID(tr2.ID())
+}
+
+func TestStateString(t *testing.T) {
+	if Active.String() != "active" || Prepared.String() != "prepared" ||
+		Committed.String() != "committed" || Aborted.String() != "aborted" {
+		t.Fatal("state strings")
+	}
+}

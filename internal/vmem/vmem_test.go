@@ -1,0 +1,359 @@
+package vmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestAddrArithmetic(t *testing.T) {
+	a := FrameAddr(3) + 17
+	if a.Frame() != 3 || a.Offset() != 17 {
+		t.Fatalf("frame/offset = %d/%d", a.Frame(), a.Offset())
+	}
+	if NilAddr.Frame() != 0 || NilAddr.Offset() != 0 {
+		t.Fatal("NilAddr decomposition wrong")
+	}
+}
+
+func TestReserveIsLazy(t *testing.T) {
+	s := New()
+	base, err := s.Reserve(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base == NilAddr {
+		t.Fatal("Reserve returned nil address")
+	}
+	st := s.Snapshot()
+	if st.ReservedFrames != 1000 || st.MappedFrames != 0 {
+		t.Fatalf("reserved/mapped = %d/%d", st.ReservedFrames, st.MappedFrames)
+	}
+	// Reserved ranges are disjoint.
+	base2, _ := s.Reserve(10)
+	if base2.Frame() < base.Frame()+1000 {
+		t.Fatal("overlapping reservations")
+	}
+}
+
+func TestAccessUnreservedFaults(t *testing.T) {
+	s := New()
+	err := s.ReadAt(FrameAddr(99), make([]byte, 4))
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("got %v", err)
+	}
+	st := s.Snapshot()
+	if st.FaultsByKind[FaultUnreserved] != 1 {
+		t.Fatalf("unreserved faults = %d", st.FaultsByKind[FaultUnreserved])
+	}
+}
+
+func TestMapAndAccess(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(2)
+	backing := make([]byte, FrameSize)
+	if err := s.Map(base, backing, ProtReadWrite); err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("persistent object")
+	if err := s.WriteAt(base+8, msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if err := s.ReadAt(base+8, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("round trip: %q", got)
+	}
+	// The write went through to the backing slice (in-place access).
+	if !bytes.Equal(backing[8:8+len(msg)], msg) {
+		t.Fatal("backing slice not updated in place")
+	}
+}
+
+func TestWriteProtectionFaults(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(1)
+	if err := s.Map(base, make([]byte, FrameSize), ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadAt(base, make([]byte, 1)); err != nil {
+		t.Fatalf("read of read-only frame: %v", err)
+	}
+	err := s.WriteAt(base, []byte{1})
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("write to read-only frame: %v", err)
+	}
+	st := s.Snapshot()
+	if st.FaultsByKind[FaultProtWrite] != 1 {
+		t.Fatalf("prot-write faults = %d", st.FaultsByKind[FaultProtWrite])
+	}
+}
+
+func TestProtNoneBlocksReads(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(1)
+	s.Map(base, make([]byte, FrameSize), ProtNone)
+	if err := s.ReadAt(base, make([]byte, 1)); !errors.Is(err, ErrViolation) {
+		t.Fatalf("read of none frame: %v", err)
+	}
+}
+
+// TestHandlerResolvesFault models the BeSS interrupt handler: on a write
+// fault it "records the update, performs locking, and grants write access
+// ... before the offending instruction is resumed" (paper §2.3).
+func TestHandlerResolvesFault(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(1)
+	s.Map(base, make([]byte, FrameSize), ProtRead)
+	var recorded []Fault
+	s.SetHandler(func(f Fault) error {
+		recorded = append(recorded, f)
+		return s.Protect(FrameAddr(f.Frame), 1, ProtReadWrite)
+	})
+	if err := s.WriteAt(base+100, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) != 1 || recorded[0].Kind != FaultProtWrite || !recorded[0].Write {
+		t.Fatalf("recorded = %+v", recorded)
+	}
+	// Second write: no further fault (access already granted).
+	if err := s.WriteAt(base+101, []byte{43}); err != nil {
+		t.Fatal(err)
+	}
+	if len(recorded) != 1 {
+		t.Fatalf("faulted again: %d", len(recorded))
+	}
+}
+
+// TestHandlerDemandMaps models a BeSS data-segment fault: the handler fetches
+// the page and maps it, then the access resumes.
+func TestHandlerDemandMaps(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(4)
+	disk := make([]byte, FrameSize)
+	copy(disk, []byte("fetched from server"))
+	fetches := 0
+	s.SetHandler(func(f Fault) error {
+		if f.Kind != FaultNoBacking {
+			t.Fatalf("unexpected fault kind %v", f.Kind)
+		}
+		fetches++
+		return s.Map(FrameAddr(f.Frame), disk, ProtRead)
+	})
+	got := make([]byte, 7)
+	if err := s.ReadAt(base, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "fetched" || fetches != 1 {
+		t.Fatalf("got %q, fetches %d", got, fetches)
+	}
+}
+
+func TestFaultStorm(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(1)
+	s.SetHandler(func(Fault) error { return nil }) // fixes nothing
+	err := s.ReadAt(base, make([]byte, 1))
+	if !errors.Is(err, ErrFaultStorm) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestHandlerErrorAborts(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(1)
+	boom := errors.New("boom")
+	s.SetHandler(func(Fault) error { return boom })
+	err := s.ReadAt(base, make([]byte, 1))
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestUnmapInvalidates(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(1)
+	s.Map(base, make([]byte, FrameSize), ProtReadWrite)
+	if err := s.Unmap(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReadAt(base, make([]byte, 1)); !errors.Is(err, ErrViolation) {
+		t.Fatalf("read after unmap: %v", err)
+	}
+	st := s.Snapshot()
+	if st.MappedFrames != 0 {
+		t.Fatalf("mapped = %d", st.MappedFrames)
+	}
+	// Remapping works after unmap.
+	if err := s.Map(base, make([]byte, FrameSize), ProtRead); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleMapRejected(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(1)
+	s.Map(base, make([]byte, FrameSize), ProtRead)
+	if err := s.Map(base, make([]byte, FrameSize), ProtRead); err != ErrDoubleMap {
+		t.Fatalf("double map: %v", err)
+	}
+	// Remap replaces without error.
+	fresh := make([]byte, FrameSize)
+	fresh[0] = 9
+	if err := s.Remap(base, fresh, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	s.ReadAt(base, b[:])
+	if b[0] != 9 {
+		t.Fatal("remap did not switch backing")
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(1)
+	if err := s.Map(base, make([]byte, 7), ProtRead); err != ErrWrongBacking {
+		t.Fatalf("short backing: %v", err)
+	}
+	if err := s.Map(FrameAddr(12345), make([]byte, FrameSize), ProtRead); err != ErrUnreserved {
+		t.Fatalf("map unreserved: %v", err)
+	}
+}
+
+func TestRelease(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(3)
+	s.Map(base, make([]byte, FrameSize), ProtRead)
+	if err := s.Release(base, 3); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Snapshot()
+	if st.ReservedFrames != 0 || st.MappedFrames != 0 {
+		t.Fatalf("reserved/mapped after release = %d/%d", st.ReservedFrames, st.MappedFrames)
+	}
+	if err := s.Release(base, 3); err != ErrUnreserved {
+		t.Fatalf("double release: %v", err)
+	}
+	if err := s.Release(base+1, 1); err != ErrBadRange {
+		t.Fatalf("unaligned release: %v", err)
+	}
+}
+
+func TestRangeCopySpansFrames(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(3)
+	for i := 0; i < 3; i++ {
+		s.Map(base+Addr(i*FrameSize), make([]byte, FrameSize), ProtReadWrite)
+	}
+	data := make([]byte, FrameSize*2+100)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	start := base + 50
+	if err := s.WriteRange(start, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(data))
+	if err := s.ReadRange(start, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("multi-frame range round trip mismatch")
+	}
+}
+
+func TestSingleAccessRejectsCrossFrame(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(2)
+	s.Map(base, make([]byte, FrameSize), ProtReadWrite)
+	err := s.ReadAt(base+FrameSize-1, make([]byte, 2))
+	if err != ErrBadRange {
+		t.Fatalf("cross-frame single access: %v", err)
+	}
+}
+
+func TestSharedBackingBetweenSpaces(t *testing.T) {
+	// Two "processes" map the same cache slot (Fig. 4): writes by one are
+	// visible to the other, possibly at different virtual addresses.
+	shared := make([]byte, FrameSize)
+	p1, p2 := New(), New()
+	b1, _ := p1.Reserve(5)
+	b2, _ := p2.Reserve(9)
+	a1 := b1 + Addr(2*FrameSize)
+	a2 := b2 + Addr(7*FrameSize)
+	p1.Map(a1, shared, ProtReadWrite)
+	p2.Map(a2, shared, ProtRead)
+	if err := p1.WriteAt(a1+10, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if err := p2.ReadAt(a2+10, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("shared visibility: %q", got)
+	}
+}
+
+func TestProtectCounting(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(4)
+	for i := 0; i < 4; i++ {
+		s.Map(base+Addr(i*FrameSize), make([]byte, FrameSize), ProtRead)
+	}
+	s.Protect(base, 4, ProtReadWrite)
+	s.Protect(base, 1, ProtRead)
+	st := s.Snapshot()
+	if st.ProtectCalls != 2 {
+		t.Fatalf("ProtectCalls = %d, want 2", st.ProtectCalls)
+	}
+}
+
+func TestTouch(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(1)
+	faults := 0
+	s.SetHandler(func(f Fault) error {
+		faults++
+		return s.Map(FrameAddr(f.Frame), make([]byte, FrameSize), ProtRead)
+	})
+	if err := s.Touch(base, false); err != nil {
+		t.Fatal(err)
+	}
+	if faults != 1 {
+		t.Fatalf("faults = %d", faults)
+	}
+	if err := s.Touch(base, true); err == nil {
+		t.Fatal("write touch on read-only frame should fail (handler doesn't upgrade)")
+	}
+}
+
+func TestProtOf(t *testing.T) {
+	s := New()
+	base, _ := s.Reserve(1)
+	prot, mapped, reserved := s.ProtOf(base)
+	if prot != ProtNone || mapped || !reserved {
+		t.Fatalf("fresh reserve: %v %v %v", prot, mapped, reserved)
+	}
+	s.Map(base, make([]byte, FrameSize), ProtRead)
+	prot, mapped, _ = s.ProtOf(base)
+	if prot != ProtRead || !mapped {
+		t.Fatalf("after map: %v %v", prot, mapped)
+	}
+	_, _, reserved = s.ProtOf(FrameAddr(424242))
+	if reserved {
+		t.Fatal("unreserved frame reports reserved")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if ProtRead.String() != "read" || ProtReadWrite.String() != "read-write" || ProtNone.String() != "none" {
+		t.Fatal("Prot strings")
+	}
+	if FaultNoBacking.String() != "no-backing" || FaultUnreserved.String() != "unreserved" {
+		t.Fatal("FaultKind strings")
+	}
+}

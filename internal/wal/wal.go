@@ -1,0 +1,555 @@
+// Package wal implements the BeSS write-ahead log: an ARIES-like protocol
+// (paper §3, reference [21]) with physical byte-range update records,
+// compensation log records (CLRs), fuzzy checkpoints, and a three-pass
+// restart (analysis, redo, undo).
+//
+// Redo is physical (copy the after-image to the page at the recorded
+// offset) and therefore idempotent, so pages need not carry a pageLSN:
+// restart always repeats history from the checkpoint's redo point and then
+// rolls back losers under CLR protection, exactly in ARIES style.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"bess/internal/page"
+)
+
+// Type is a log record type.
+type Type uint8
+
+// Log record types.
+const (
+	TUpdate Type = iota + 1
+	TCLR
+	TCommit
+	TAbort // transaction rollback complete
+	TEnd   // transaction removed from the table (after commit or abort)
+	TCheckpoint
+	TPrepare // 2PC: participant vote logged and forced; tx is in-doubt until decision
+)
+
+// String names the record type.
+func (t Type) String() string {
+	switch t {
+	case TUpdate:
+		return "update"
+	case TCLR:
+		return "clr"
+	case TCommit:
+		return "commit"
+	case TAbort:
+		return "abort"
+	case TEnd:
+		return "end"
+	case TCheckpoint:
+		return "checkpoint"
+	case TPrepare:
+		return "prepare"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// CkptTx is an active-transaction-table entry in a checkpoint record.
+type CkptTx struct {
+	Tx      uint64
+	LastLSN page.LSN
+}
+
+// CkptPage is a dirty-page-table entry in a checkpoint record.
+type CkptPage struct {
+	Page   page.ID
+	RecLSN page.LSN
+}
+
+// Record is one log record. LSNs are byte offsets of the record in the log.
+type Record struct {
+	Type    Type
+	Tx      uint64
+	PrevLSN page.LSN // previous record of the same transaction
+
+	// Update / CLR fields.
+	Page     page.ID
+	Off      uint32   // byte offset within the page
+	Before   []byte   // undo image (empty for CLRs)
+	After    []byte   // redo image
+	UndoNext page.LSN // CLR: next record to undo
+
+	// Checkpoint fields.
+	ActiveTxs  []CkptTx
+	DirtyPages []CkptPage
+}
+
+// Errors returned by the log.
+var (
+	ErrCorrupt = errors.New("wal: corrupt record")
+	ErrClosed  = errors.New("wal: closed")
+)
+
+const recHeaderSize = 4 + 4 // length + crc
+
+// encode serializes r (excluding the length/crc header).
+func (r *Record) encode() []byte {
+	var b []byte
+	b = append(b, byte(r.Type))
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], r.Tx)
+	b = append(b, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], uint64(r.PrevLSN))
+	b = append(b, tmp[:]...)
+	switch r.Type {
+	case TUpdate, TCLR:
+		binary.BigEndian.PutUint32(tmp[:4], uint32(r.Page.Area))
+		b = append(b, tmp[:4]...)
+		binary.BigEndian.PutUint64(tmp[:], uint64(r.Page.Page))
+		b = append(b, tmp[:]...)
+		binary.BigEndian.PutUint32(tmp[:4], r.Off)
+		b = append(b, tmp[:4]...)
+		binary.BigEndian.PutUint64(tmp[:], uint64(r.UndoNext))
+		b = append(b, tmp[:]...)
+		binary.BigEndian.PutUint32(tmp[:4], uint32(len(r.Before)))
+		b = append(b, tmp[:4]...)
+		b = append(b, r.Before...)
+		binary.BigEndian.PutUint32(tmp[:4], uint32(len(r.After)))
+		b = append(b, tmp[:4]...)
+		b = append(b, r.After...)
+	case TCheckpoint:
+		binary.BigEndian.PutUint32(tmp[:4], uint32(len(r.ActiveTxs)))
+		b = append(b, tmp[:4]...)
+		for _, e := range r.ActiveTxs {
+			binary.BigEndian.PutUint64(tmp[:], e.Tx)
+			b = append(b, tmp[:]...)
+			binary.BigEndian.PutUint64(tmp[:], uint64(e.LastLSN))
+			b = append(b, tmp[:]...)
+		}
+		binary.BigEndian.PutUint32(tmp[:4], uint32(len(r.DirtyPages)))
+		b = append(b, tmp[:4]...)
+		for _, e := range r.DirtyPages {
+			binary.BigEndian.PutUint32(tmp[:4], uint32(e.Page.Area))
+			b = append(b, tmp[:4]...)
+			binary.BigEndian.PutUint64(tmp[:], uint64(e.Page.Page))
+			b = append(b, tmp[:]...)
+			binary.BigEndian.PutUint64(tmp[:], uint64(e.RecLSN))
+			b = append(b, tmp[:]...)
+		}
+	}
+	return b
+}
+
+func decodeRecord(b []byte) (*Record, error) {
+	if len(b) < 17 {
+		return nil, ErrCorrupt
+	}
+	r := &Record{Type: Type(b[0])}
+	r.Tx = binary.BigEndian.Uint64(b[1:9])
+	r.PrevLSN = page.LSN(binary.BigEndian.Uint64(b[9:17]))
+	p := b[17:]
+	u32 := func() (uint32, error) {
+		if len(p) < 4 {
+			return 0, ErrCorrupt
+		}
+		v := binary.BigEndian.Uint32(p[:4])
+		p = p[4:]
+		return v, nil
+	}
+	u64 := func() (uint64, error) {
+		if len(p) < 8 {
+			return 0, ErrCorrupt
+		}
+		v := binary.BigEndian.Uint64(p[:8])
+		p = p[8:]
+		return v, nil
+	}
+	switch r.Type {
+	case TUpdate, TCLR:
+		area, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		pg, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		r.Page = page.ID{Area: page.AreaID(area), Page: page.No(pg)}
+		off, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		r.Off = off
+		un, err := u64()
+		if err != nil {
+			return nil, err
+		}
+		r.UndoNext = page.LSN(un)
+		nb, err := u32()
+		if err != nil || int(nb) > len(p) {
+			return nil, ErrCorrupt
+		}
+		r.Before = append([]byte(nil), p[:nb]...)
+		p = p[nb:]
+		na, err := u32()
+		if err != nil || int(na) > len(p) {
+			return nil, ErrCorrupt
+		}
+		r.After = append([]byte(nil), p[:na]...)
+		p = p[na:]
+	case TCheckpoint:
+		n, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			tx, err := u64()
+			if err != nil {
+				return nil, err
+			}
+			l, err := u64()
+			if err != nil {
+				return nil, err
+			}
+			r.ActiveTxs = append(r.ActiveTxs, CkptTx{Tx: tx, LastLSN: page.LSN(l)})
+		}
+		n, err = u32()
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < n; i++ {
+			area, err := u32()
+			if err != nil {
+				return nil, err
+			}
+			pg, err := u64()
+			if err != nil {
+				return nil, err
+			}
+			l, err := u64()
+			if err != nil {
+				return nil, err
+			}
+			r.DirtyPages = append(r.DirtyPages, CkptPage{
+				Page:   page.ID{Area: page.AreaID(area), Page: page.No(pg)},
+				RecLSN: page.LSN(l),
+			})
+		}
+	case TCommit, TAbort, TEnd, TPrepare:
+		// header only
+	default:
+		return nil, ErrCorrupt
+	}
+	return r, nil
+}
+
+// backing abstracts the durable medium behind the log buffer.
+type backing interface {
+	io.WriterAt
+	io.ReaderAt
+	Sync() error
+	Close() error
+	Size() int64
+}
+
+type fileBacking struct{ f *os.File }
+
+func (b fileBacking) WriteAt(p []byte, off int64) (int, error) { return b.f.WriteAt(p, off) }
+func (b fileBacking) ReadAt(p []byte, off int64) (int, error)  { return b.f.ReadAt(p, off) }
+func (b fileBacking) Sync() error                              { return b.f.Sync() }
+func (b fileBacking) Close() error                             { return b.f.Close() }
+func (b fileBacking) Size() int64 {
+	fi, err := b.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
+type memBacking struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *memBacking) WriteAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	end := off + int64(len(p))
+	if end > int64(len(b.buf)) {
+		g := make([]byte, end)
+		copy(g, b.buf)
+		b.buf = g
+	}
+	copy(b.buf[off:end], p)
+	return len(p), nil
+}
+
+func (b *memBacking) ReadAt(p []byte, off int64) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if off >= int64(len(b.buf)) {
+		return 0, io.EOF
+	}
+	n := copy(p, b.buf[off:])
+	if n < len(p) {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, nil
+}
+
+func (b *memBacking) Sync() error  { return nil }
+func (b *memBacking) Close() error { return nil }
+func (b *memBacking) Size() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int64(len(b.buf))
+}
+
+// Log is an append-only write-ahead log with group flushing. Safe for
+// concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	back    backing
+	tail    []byte   // buffered, unflushed bytes
+	nextLSN page.LSN // LSN of the next record to append
+	flushed page.LSN // all records below this are durable
+	closed  bool
+
+	appends int64
+	flushes int64
+}
+
+// firstLSN is the LSN of the first record: offsets start after a small file
+// header so that LSN 0 can mean "none".
+const firstLSN = page.LSN(8)
+
+var logMagic = []byte{0xBE, 0x55, 0x10, 0x60, 0, 0, 0, 1}
+
+// OpenFile opens (creating if absent) a file-backed log, scanning to find
+// the durable end.
+func OpenFile(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{back: fileBacking{f}}
+	if err := l.init(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// NewMem returns a memory-backed log (tests and crash simulation).
+func NewMem() *Log {
+	l := &Log{back: &memBacking{}}
+	if err := l.init(); err != nil {
+		panic(err) // memBacking cannot fail
+	}
+	return l
+}
+
+// OpenMemFrom rebuilds a memory log from a durable image produced by
+// DurableBytes — the crash-recovery entry point for tests.
+func OpenMemFrom(img []byte) (*Log, error) {
+	l := &Log{back: &memBacking{buf: append([]byte(nil), img...)}}
+	if err := l.init(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Log) init() error {
+	size := l.back.Size()
+	if size == 0 {
+		if _, err := l.back.WriteAt(logMagic, 0); err != nil {
+			return err
+		}
+		if err := l.back.Sync(); err != nil {
+			return err
+		}
+		l.nextLSN, l.flushed = firstLSN, firstLSN
+		return nil
+	}
+	hdr := make([]byte, 8)
+	if _, err := l.back.ReadAt(hdr, 0); err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		if hdr[i] != logMagic[i] {
+			return fmt.Errorf("wal: bad log magic")
+		}
+	}
+	// Scan to the last valid record (a torn tail is truncated logically).
+	lsn := firstLSN
+	for {
+		rec, next, err := l.readAt(lsn)
+		if err != nil || rec == nil {
+			break
+		}
+		lsn = next
+	}
+	l.nextLSN, l.flushed = lsn, lsn
+	return nil
+}
+
+// Append buffers rec and returns its LSN. The record is durable only after
+// a Flush covering the LSN.
+func (l *Log) Append(rec *Record) (page.LSN, error) {
+	body := rec.encode()
+	buf := make([]byte, recHeaderSize+len(body))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(buf[4:8], page.Checksum(body))
+	copy(buf[recHeaderSize:], body)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	lsn := l.nextLSN
+	l.tail = append(l.tail, buf...)
+	l.nextLSN += page.LSN(len(buf))
+	l.appends++
+	return lsn, nil
+}
+
+// Flush forces all records with LSN <= upTo (0 = everything) to the backing
+// store — the WAL force at commit.
+func (l *Log) Flush(upTo page.LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if upTo != 0 && upTo < l.flushed {
+		return nil
+	}
+	if len(l.tail) == 0 {
+		return nil
+	}
+	if _, err := l.back.WriteAt(l.tail, int64(l.flushed)); err != nil {
+		return err
+	}
+	if err := l.back.Sync(); err != nil {
+		return err
+	}
+	l.flushed += page.LSN(len(l.tail))
+	l.tail = nil
+	l.flushes++
+	return nil
+}
+
+// FlushedLSN returns the first non-durable LSN.
+func (l *Log) FlushedLSN() page.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.flushed
+}
+
+// NextLSN returns the LSN the next Append will get.
+func (l *Log) NextLSN() page.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Stats reports appends and flush (force) counts.
+func (l *Log) Stats() (appends, flushes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appends, l.flushes
+}
+
+// readAt reads the durable record at lsn. Returns (nil, lsn, nil) at a clean
+// end of log.
+func (l *Log) readAt(lsn page.LSN) (*Record, page.LSN, error) {
+	hdr := make([]byte, recHeaderSize)
+	if _, err := l.back.ReadAt(hdr, int64(lsn)); err != nil {
+		return nil, lsn, nil // end of log
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if n == 0 || n > 1<<26 {
+		return nil, lsn, nil
+	}
+	body := make([]byte, n)
+	if _, err := l.back.ReadAt(body, int64(lsn)+recHeaderSize); err != nil {
+		return nil, lsn, nil // torn record
+	}
+	if page.Checksum(body) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return nil, lsn, nil // torn/corrupt tail
+	}
+	rec, err := decodeRecord(body)
+	if err != nil {
+		return nil, lsn, err
+	}
+	return rec, lsn + page.LSN(recHeaderSize+len(body)), nil
+}
+
+// Iterate calls fn for every durable record with LSN >= from (use firstLSN
+// or a checkpoint LSN). Stops at the first error.
+func (l *Log) Iterate(from page.LSN, fn func(lsn page.LSN, rec *Record) error) error {
+	if from < firstLSN {
+		from = firstLSN
+	}
+	l.mu.Lock()
+	end := l.flushed
+	l.mu.Unlock()
+	lsn := from
+	for lsn < end {
+		rec, next, err := l.readAt(lsn)
+		if err != nil {
+			return err
+		}
+		if rec == nil {
+			return nil
+		}
+		if err := fn(lsn, rec); err != nil {
+			return err
+		}
+		lsn = next
+	}
+	return nil
+}
+
+// ReadRecord returns the durable record at lsn.
+func (l *Log) ReadRecord(lsn page.LSN) (*Record, error) {
+	rec, _, err := l.readAt(lsn)
+	if err != nil {
+		return nil, err
+	}
+	if rec == nil {
+		return nil, ErrCorrupt
+	}
+	return rec, nil
+}
+
+// DurableBytes snapshots the flushed log image (crash simulation).
+func (l *Log) DurableBytes() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]byte, l.flushed)
+	if _, err := l.back.ReadAt(out, 0); err != nil && !errors.Is(err, io.EOF) {
+		return out[:0]
+	}
+	return out
+}
+
+// FirstLSN exposes the start-of-log LSN.
+func FirstLSN() page.LSN { return firstLSN }
+
+// Close flushes and closes the log.
+func (l *Log) Close() error {
+	if err := l.Flush(0); err != nil && err != ErrClosed {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	return l.back.Close()
+}
