@@ -1,5 +1,5 @@
 // Package bess holds the repository-level benchmark suite: one benchmark
-// (or family) per experiment E1–E10 from DESIGN.md §4, each reproducing a
+// (or family) per experiment E1–E11 from DESIGN.md §4, each reproducing a
 // figure or performance claim of the paper. cmd/bess-bench runs the same
 // harness outside `go test` and prints the tables recorded in
 // EXPERIMENTS.md.
@@ -196,4 +196,22 @@ func BenchmarkE10Buddy(b *testing.B) {
 	b.ReportMetric(r.Utilization*100, "util%")
 	b.ReportMetric(float64(r.Splits)/float64(r.Ops), "splits/op")
 	b.ReportMetric(float64(r.Coalesces)/float64(r.Ops), "coalesces/op")
+}
+
+// --- E11: commit throughput vs client concurrency (group commit, paper §3) ---
+
+// With a real fsync per WAL force, a single client is bounded by sync
+// latency; group commit lets concurrent committers share fsync rounds, so
+// commits/s scales with clients while syncs/commit falls below 1.
+func BenchmarkE11GroupCommit(b *testing.B) {
+	for _, clients := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			var r bench.E11Result
+			for i := 0; i < b.N; i++ {
+				r = bench.RunE11(clients, 32)
+			}
+			b.ReportMetric(r.CommitsPerSec, "commits/s")
+			b.ReportMetric(r.SyncsPerCommit, "syncs/commit")
+		})
+	}
 }

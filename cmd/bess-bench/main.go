@@ -1,15 +1,20 @@
-// bess-bench runs the experiment harness (E1–E10 from DESIGN.md §4)
+// bess-bench runs the experiment harness (E1–E11 from DESIGN.md §4)
 // outside `go test` and prints one table per experiment — the rows recorded
 // in EXPERIMENTS.md.
 //
 // Usage:
 //
-//	bess-bench [-only E5] [-quick]
+//	bess-bench [-only E5] [-quick] [-json]
+//
+// With -json, experiments that support machine-readable output additionally
+// write BENCH_<name>.json into the current directory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -17,8 +22,9 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E10)")
+	only := flag.String("only", "", "run a single experiment (E1..E11)")
 	quick := flag.Bool("quick", false, "smaller parameters (CI-sized)")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<name>.json result files")
 	flag.Parse()
 
 	want := func(id string) bool {
@@ -55,6 +61,24 @@ func main() {
 	if want("E10") {
 		e10(*quick)
 	}
+	if want("E11") {
+		e11(*quick, *jsonOut)
+	}
+}
+
+// writeJSON writes v as indented JSON to BENCH_<name>.json.
+func writeJSON(name string, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bess-bench: marshal %s: %v\n", name, err)
+		return
+	}
+	path := "BENCH_" + name + ".json"
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bess-bench: write %s: %v\n", path, err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func header(id, title string) {
@@ -219,4 +243,32 @@ func e10(quick bool) {
 	fmt.Printf("ops=%d utilization=%.1f%% splits/op=%.3f coalesces/op=%.3f failures=%d\n",
 		r.Ops, r.Utilization*100, float64(r.Splits)/float64(r.Ops),
 		float64(r.Coalesces)/float64(r.Ops), r.Failures)
+}
+
+func e11(quick bool, jsonOut bool) {
+	header("E11", "commit throughput vs client concurrency — group commit (§3)")
+	commitsPer := 64
+	if quick {
+		commitsPer = 16
+	}
+	fmt.Printf("%-8s %12s %12s %10s %14s %10s\n",
+		"clients", "commits", "commits/s", "syncs", "syncs/commit", "grouped")
+	var results []bench.E11Result
+	base := 0.0
+	for _, clients := range []int{1, 2, 4, 8, 16} {
+		r := bench.RunE11(clients, commitsPer)
+		results = append(results, r)
+		if clients == 1 {
+			base = r.CommitsPerSec
+		}
+		fmt.Printf("%-8d %12d %12.0f %10d %14.3f %10d\n",
+			r.Clients, r.Commits, r.CommitsPerSec, r.WALSyncs, r.SyncsPerCommit, r.GroupedCommits)
+	}
+	if base > 0 {
+		last := results[len(results)-1]
+		fmt.Printf("scaling: %.1fx commits/s at %d clients vs 1\n", last.CommitsPerSec/base, last.Clients)
+	}
+	if jsonOut {
+		writeJSON("E11", results)
+	}
 }

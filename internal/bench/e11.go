@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"bess/internal/proto"
+	"bess/internal/segment"
+	"bess/internal/server"
+)
+
+// --- E11: commit throughput vs client concurrency (group commit) ---
+
+// E11Result reports commit throughput for one client count against a
+// file-backed (really fsyncing) server.
+type E11Result struct {
+	Clients        int     `json:"clients"`
+	Commits        int     `json:"commits"`
+	Seconds        float64 `json:"seconds"`
+	CommitsPerSec  float64 `json:"commits_per_sec"`
+	WALSyncs       int64   `json:"wal_syncs"`
+	GroupedCommits int64   `json:"grouped_commits"`
+	SyncsPerCommit float64 `json:"syncs_per_commit"`
+}
+
+// RunE11 opens a file-backed server (commits pay a real fsync), gives each
+// client its own segment plus two prebuilt commit images with equal-length
+// alternating payloads (so every commit logs real page changes), and runs
+// clients goroutines each committing commitsPerClient update transactions.
+// With group commit, concurrent committers share fsync rounds, so
+// SyncsPerCommit should fall well below 1 as Clients grows.
+func RunE11(clients, commitsPerClient int) E11Result {
+	dir, err := os.MkdirTemp("", "bess-e11-")
+	must(err)
+	defer os.RemoveAll(dir)
+	srv, err := server.Open(dir, 1)
+	must(err)
+	defer srv.Close()
+	db, _, err := srv.OpenDB("e11", true)
+	must(err)
+
+	keys := make([]proto.SegKey, clients)
+	imgs := make([][2]proto.SegImage, clients)
+	conns := make([]uint32, clients)
+	for c := 0; c < clients; c++ {
+		fid, err := srv.NewFileID(db)
+		must(err)
+		keys[c], err = srv.CreateSegment(db, fid, 1, 2, -1)
+		must(err)
+		for v := 0; v < 2; v++ {
+			sl, ov, err := srv.FetchSlotted(0, keys[c])
+			must(err)
+			seg, err := segment.DecodeSlotted(sl)
+			must(err)
+			seg.Overflow = ov
+			seg.Data, err = srv.FetchData(0, keys[c])
+			must(err)
+			_, err = seg.CreateObject(0, []byte(fmt.Sprintf("e11-client-%03d-v%d", c, v)))
+			must(err)
+			imgs[c][v] = proto.SegImage{Seg: keys[c], Slotted: seg.EncodeSlotted(), Overflow: seg.Overflow, Data: seg.Data}
+		}
+		conns[c], err = srv.Hello(fmt.Sprintf("e11-%d", c))
+		must(err)
+	}
+
+	before := srv.Snapshot()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < commitsPerClient; i++ {
+				txid, err := srv.NewTx()
+				must(err)
+				must(srv.Lock(conns[c], txid, keys[c], proto.LockX))
+				must(srv.Commit(conns[c], txid, []proto.SegImage{imgs[c][i%2]}))
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	after := srv.Snapshot()
+
+	commits := clients * commitsPerClient
+	res := E11Result{
+		Clients:        clients,
+		Commits:        commits,
+		Seconds:        elapsed.Seconds(),
+		CommitsPerSec:  float64(commits) / elapsed.Seconds(),
+		WALSyncs:       after.WALSyncs - before.WALSyncs,
+		GroupedCommits: after.WALGroupedCommits - before.WALGroupedCommits,
+	}
+	res.SyncsPerCommit = float64(res.WALSyncs) / float64(commits)
+	return res
+}
+
+// FormatE11 renders an E11 row.
+func FormatE11(r E11Result) string {
+	return fmt.Sprintf("clients=%-3d commits=%-5d %8.0f commits/s  syncs=%-5d syncs/commit=%.3f grouped=%d",
+		r.Clients, r.Commits, r.CommitsPerSec, r.WALSyncs, r.SyncsPerCommit, r.GroupedCommits)
+}

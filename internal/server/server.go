@@ -64,20 +64,39 @@ type Stats struct {
 	Callbacks        int64
 	CallbackRefusals int64
 	PagesWritten     int64
+
+	// WAL counters (group commit, experiment E11): Syncs stays far below
+	// Commits under concurrency because committers share fsyncs.
+	WALAppends        int64
+	WALFlushes        int64
+	WALSyncs          int64
+	WALGroupedCommits int64
 }
 
 // Server is one BeSS server.
+//
+// Locking is striped per concern so fetches, lock calls, and commits from
+// different clients do not contend on one server-wide mutex: areaMu guards
+// the area table (read-mostly), clientMu the client registry, copyMu the
+// cached-copy table, and the active-transaction map is the sharded txs
+// table. None of these locks is ever held while acquiring another.
 type Server struct {
 	host uint16
 	dir  string // "" = in-memory
 
-	mu      sync.Mutex
-	areas   map[uint32]*area.Area
-	clients map[uint32]*clientHandle
-	copies  map[proto.SegKey]map[uint32]bool
-	active  map[uint64]*tx.Tx
-	txOwner map[uint64]uint32
-	closed  bool
+	areaMu sync.RWMutex
+	areas  map[uint32]*area.Area
+
+	clientMu   sync.Mutex
+	clients    map[uint32]*clientHandle
+	nextClient uint32
+
+	copyMu sync.Mutex
+	copies map[proto.SegKey]map[uint32]bool
+
+	txs txTable
+
+	closed atomic.Bool
 
 	cat   *catalog
 	log   *wal.Log
@@ -85,8 +104,7 @@ type Server struct {
 	txm   *tx.Manager
 	hk    *hooks.Registry
 
-	nextClient uint32
-	nextTx     atomic.Uint64
+	nextTx atomic.Uint64
 
 	stats struct {
 		messages, slottedFetches, dataFetches, largeFetches atomic.Int64
@@ -123,12 +141,11 @@ func open(dir string, host uint16) (*Server, error) {
 		areas:           make(map[uint32]*area.Area),
 		clients:         make(map[uint32]*clientHandle),
 		copies:          make(map[proto.SegKey]map[uint32]bool),
-		active:          make(map[uint64]*tx.Tx),
-		txOwner:         make(map[uint64]uint32),
 		locks:           lock.NewManager(),
 		hk:              hooks.NewRegistry(),
 		CallbackTimeout: 2 * time.Second,
 	}
+	s.txs.init()
 	s.locks.DefaultTimeout = 5 * time.Second
 	var err error
 	if dir == "" {
@@ -161,7 +178,7 @@ func open(dir string, host uint16) (*Server, error) {
 		}
 		s.txm = tx.NewManager(s.log, s.locks, s, s.hk)
 		for _, id := range st.InDoubt {
-			s.active[id] = s.txm.AdoptPrepared(id, st.InDoubtLast[id])
+			s.txs.put(id, s.txm.AdoptPrepared(id, st.InDoubtLast[id]), 0)
 		}
 	}
 	if s.txm == nil {
@@ -191,6 +208,7 @@ func (s *Server) Log() *wal.Log { return s.log }
 
 // Snapshot returns cumulative statistics.
 func (s *Server) Snapshot() Stats {
+	ls := s.log.Stats()
 	return Stats{
 		Messages:         s.stats.messages.Load(),
 		SlottedFetches:   s.stats.slottedFetches.Load(),
@@ -201,16 +219,27 @@ func (s *Server) Snapshot() Stats {
 		Callbacks:        s.stats.callbacks.Load(),
 		CallbackRefusals: s.stats.refusals.Load(),
 		PagesWritten:     s.stats.pagesWritten.Load(),
+
+		WALAppends:        ls.Appends,
+		WALFlushes:        ls.Flushes,
+		WALSyncs:          ls.Syncs,
+		WALGroupedCommits: ls.GroupedCommits,
 	}
 }
 
 // --- wal.Pager over the storage areas ---
 
+// lookupArea returns the open area with the given id, or nil.
+func (s *Server) lookupArea(id uint32) *area.Area {
+	s.areaMu.RLock()
+	a := s.areas[id]
+	s.areaMu.RUnlock()
+	return a
+}
+
 // ReadPage implements wal.Pager.
 func (s *Server) ReadPage(id page.ID, buf []byte) error {
-	s.mu.Lock()
-	a := s.areas[uint32(id.Area)]
-	s.mu.Unlock()
+	a := s.lookupArea(uint32(id.Area))
 	if a == nil {
 		return ErrNoArea
 	}
@@ -219,9 +248,7 @@ func (s *Server) ReadPage(id page.ID, buf []byte) error {
 
 // WritePage implements wal.Pager.
 func (s *Server) WritePage(id page.ID, data []byte) error {
-	s.mu.Lock()
-	a := s.areas[uint32(id.Area)]
-	s.mu.Unlock()
+	a := s.lookupArea(uint32(id.Area))
 	if a == nil {
 		return ErrNoArea
 	}
@@ -233,11 +260,11 @@ func (s *Server) WritePage(id page.ID, data []byte) error {
 
 // Hello implements proto.Conn.
 func (s *Server) Hello(name string) (uint32, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return 0, ErrShutdown
 	}
+	s.clientMu.Lock()
+	defer s.clientMu.Unlock()
 	s.nextClient++
 	id := s.nextClient
 	s.clients[id] = &clientHandle{id: id, name: name}
@@ -249,8 +276,8 @@ func (s *Server) Hello(name string) (uint32, error) {
 // raw function type so client code can wire it through a small interface
 // without importing this package.
 func (s *Server) SetCallback(client uint32, cb func(proto.SegKey) (bool, error)) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clientMu.Lock()
+	defer s.clientMu.Unlock()
 	h := s.clients[client]
 	if h == nil {
 		return errUnknownName
@@ -262,25 +289,18 @@ func (s *Server) SetCallback(client uint32, cb func(proto.SegKey) (bool, error))
 // Disconnect drops a client: its cached copies are forgotten and its live
 // transactions aborted.
 func (s *Server) Disconnect(client uint32) {
-	s.mu.Lock()
-	var doomed []*tx.Tx
-	for id, owner := range s.txOwner {
-		if owner == client {
-			if t := s.active[id]; t != nil {
-				doomed = append(doomed, t)
-			}
-			delete(s.txOwner, id)
-			delete(s.active, id)
-		}
-	}
+	doomed := s.txs.takeOwned(client)
+	s.copyMu.Lock()
 	for seg, set := range s.copies {
 		delete(set, client)
 		if len(set) == 0 {
 			delete(s.copies, seg)
 		}
 	}
+	s.copyMu.Unlock()
+	s.clientMu.Lock()
 	delete(s.clients, client)
-	s.mu.Unlock()
+	s.clientMu.Unlock()
 	for _, t := range doomed {
 		_ = t.Abort()
 	}
@@ -328,9 +348,9 @@ func (s *Server) AddArea(db uint32) (uint32, error) {
 	if err != nil {
 		return 0, err
 	}
-	s.mu.Lock()
+	s.areaMu.Lock()
 	s.areas[aid] = a
-	s.mu.Unlock()
+	s.areaMu.Unlock()
 	return aid, nil
 }
 
@@ -390,9 +410,7 @@ func (s *Server) areaOf(m *dbMeta, hint int) (*area.Area, uint32, error) {
 	}
 	aid := m.Areas[idx]
 	s.cat.mu.Unlock()
-	s.mu.Lock()
-	a := s.areas[aid]
-	s.mu.Unlock()
+	a := s.lookupArea(aid)
 	if a == nil {
 		return nil, 0, ErrNoArea
 	}
@@ -459,9 +477,7 @@ func (s *Server) readSeg(seg proto.SegKey) (*segment.Seg, []byte, []byte, error)
 	if !ok {
 		return nil, nil, nil, ErrNoSegment
 	}
-	s.mu.Lock()
-	a := s.areas[seg.Area]
-	s.mu.Unlock()
+	a := s.lookupArea(seg.Area)
 	if a == nil {
 		return nil, nil, nil, ErrNoArea
 	}
@@ -477,9 +493,7 @@ func (s *Server) readSeg(seg proto.SegKey) (*segment.Seg, []byte, []byte, error)
 	}
 	var over []byte
 	if dec.Hdr.OverPages > 0 {
-		s.mu.Lock()
-		oa := s.areas[uint32(dec.Hdr.OverArea)]
-		s.mu.Unlock()
+		oa := s.lookupArea(uint32(dec.Hdr.OverArea))
 		if oa == nil {
 			return nil, nil, nil, ErrNoArea
 		}
@@ -504,14 +518,14 @@ func (s *Server) FetchSlotted(client uint32, seg proto.SegKey) ([]byte, []byte, 
 		return nil, nil, err
 	}
 	if client != 0 {
-		s.mu.Lock()
+		s.copyMu.Lock()
 		set := s.copies[seg]
 		if set == nil {
 			set = make(map[uint32]bool)
 			s.copies[seg] = set
 		}
 		set[client] = true
-		s.mu.Unlock()
+		s.copyMu.Unlock()
 	}
 	_ = s.hk.Fire(hooks.EvSegmentFault, seg)
 	return img, over, nil
@@ -525,9 +539,7 @@ func (s *Server) FetchData(client uint32, seg proto.SegKey) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	da := s.areas[uint32(dec.Hdr.DataArea)]
-	s.mu.Unlock()
+	da := s.lookupArea(uint32(dec.Hdr.DataArea))
 	if da == nil {
 		return nil, ErrNoArea
 	}
@@ -557,9 +569,7 @@ func (s *Server) FetchLarge(client uint32, seg proto.SegKey, slot int) ([]byte, 
 		return nil, err
 	}
 	areaID, start, pages, stored := decodeLargeDesc(d)
-	s.mu.Lock()
-	a := s.areas[areaID]
-	s.mu.Unlock()
+	a := s.lookupArea(areaID)
 	if a == nil {
 		return nil, ErrNoArea
 	}
@@ -615,15 +625,20 @@ func (s *Server) SegmentsOf(db uint32, fileID uint32) ([]proto.SegKey, error) {
 // Released implements proto.Conn: the client dropped its cached copy.
 func (s *Server) Released(client uint32, seg proto.SegKey) error {
 	s.stats.messages.Add(1)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.dropCopy(seg, client)
+	return nil
+}
+
+// dropCopy forgets one client's cached copy of seg.
+func (s *Server) dropCopy(seg proto.SegKey, client uint32) {
+	s.copyMu.Lock()
 	if set := s.copies[seg]; set != nil {
 		delete(set, client)
 		if len(set) == 0 {
 			delete(s.copies, seg)
 		}
 	}
-	return nil
+	s.copyMu.Unlock()
 }
 
 // --- locking with callbacks ---
@@ -634,15 +649,7 @@ func segLockName(seg proto.SegKey) lock.Name {
 
 // ensureTx returns the live server-side branch for id, creating it lazily.
 func (s *Server) ensureTx(client uint32, id uint64) *tx.Tx {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if t := s.active[id]; t != nil {
-		return t
-	}
-	t := s.txm.BeginWithID(id)
-	s.active[id] = t
-	s.txOwner[id] = client
-	return t
+	return s.txs.ensure(id, client, func() *tx.Tx { return s.txm.BeginWithID(id) })
 }
 
 // Lock implements proto.Conn. Exclusive locks drive callback revocation of
@@ -686,20 +693,29 @@ func (s *Server) LockObject(client uint32, txid uint64, seg proto.SegKey, slot i
 func (s *Server) revokeCopies(seg proto.SegKey, except uint32) error {
 	deadline := time.Now().Add(s.CallbackTimeout)
 	for {
-		s.mu.Lock()
-		var targets []*clientHandle
+		s.copyMu.Lock()
+		cids := make([]uint32, 0, len(s.copies[seg]))
 		for cid := range s.copies[seg] {
-			if cid == except {
-				continue
+			if cid != except {
+				cids = append(cids, cid)
 			}
+		}
+		s.copyMu.Unlock()
+		var targets []*clientHandle
+		s.clientMu.Lock()
+		var unreachable []uint32
+		for _, cid := range cids {
 			if h := s.clients[cid]; h != nil && h.callback != nil {
 				targets = append(targets, h)
 			} else {
-				// No way to reach it (disconnected): forget the copy.
-				delete(s.copies[seg], cid)
+				unreachable = append(unreachable, cid)
 			}
 		}
-		s.mu.Unlock()
+		s.clientMu.Unlock()
+		// No way to reach them (disconnected): forget the copies.
+		for _, cid := range unreachable {
+			s.dropCopy(seg, cid)
+		}
 		if len(targets) == 0 {
 			return nil
 		}
@@ -717,14 +733,7 @@ func (s *Server) revokeCopies(seg proto.SegKey, except uint32) error {
 				anyRefused = true
 				continue
 			}
-			s.mu.Lock()
-			if set := s.copies[seg]; set != nil {
-				delete(set, h.id)
-				if len(set) == 0 {
-					delete(s.copies, seg)
-				}
-			}
-			s.mu.Unlock()
+			s.dropCopy(seg, h.id)
 		}
 		if !anyRefused {
 			return nil
@@ -746,9 +755,10 @@ func (s *Server) applySegImages(t *tx.Tx, segs []proto.SegImage) error {
 			return err
 		}
 	}
-	// WAL rule: force records before page writes. LogUpdate buffered them;
-	// flush now, then apply.
-	return s.log.Flush(0)
+	// No force here: the single force of the commit/prepare record's LSN
+	// (tx.Commit / tx.Prepare) covers these buffered records, so a commit
+	// never pays a second fsync or waits on another transaction's tail.
+	return nil
 }
 
 func (s *Server) applyOne(t *tx.Tx, si proto.SegImage) error {
@@ -841,9 +851,7 @@ func (s *Server) applyOne(t *tx.Tx, si proto.SegImage) error {
 // areaForAlloc picks the area for a relocation allocation (same area as the
 // slotted segment).
 func (s *Server) areaForAlloc(areaID uint32) (*area.Area, uint32, error) {
-	s.mu.Lock()
-	a := s.areas[areaID]
-	s.mu.Unlock()
+	a := s.lookupArea(areaID)
 	if a == nil {
 		return nil, 0, ErrNoArea
 	}
@@ -908,6 +916,9 @@ func (s *Server) Commit(client uint32, txid uint64, segs []proto.SegImage) error
 		return err
 	}
 	if err := t.Commit(); err != nil {
+		// The branch is dead either way: drop it so the txid does not leak
+		// in the active table.
+		s.forgetTx(txid)
 		return err
 	}
 	s.forgetTx(txid)
@@ -918,9 +929,7 @@ func (s *Server) Commit(client uint32, txid uint64, segs []proto.SegImage) error
 // Abort implements proto.Conn.
 func (s *Server) Abort(client uint32, txid uint64) error {
 	s.stats.messages.Add(1)
-	s.mu.Lock()
-	t := s.active[txid]
-	s.mu.Unlock()
+	t := s.txs.get(txid)
 	if t == nil {
 		return nil // nothing ever reached the server: trivial abort
 	}
@@ -951,9 +960,7 @@ func (s *Server) Prepare(client uint32, txid uint64, segs []proto.SegImage) erro
 // Decide implements proto.Conn: 2PC phase-2 decision delivery.
 func (s *Server) Decide(txid uint64, commit bool) error {
 	s.stats.messages.Add(1)
-	s.mu.Lock()
-	t := s.active[txid]
-	s.mu.Unlock()
+	t := s.txs.get(txid)
 	if t == nil {
 		return ErrUnknownTx
 	}
@@ -970,10 +977,7 @@ func (s *Server) Decide(txid uint64, commit bool) error {
 }
 
 func (s *Server) forgetTx(txid uint64) {
-	s.mu.Lock()
-	delete(s.active, txid)
-	delete(s.txOwner, txid)
-	s.mu.Unlock()
+	s.txs.forget(txid)
 }
 
 // --- large objects ---
@@ -1084,7 +1088,9 @@ func (s *Server) CreateLarge(client uint32, txid uint64, seg proto.SegKey, typ u
 	if err := s.logAndApply(t, uint32(dec.Hdr.OverArea), dec.Hdr.OverStart, dec.Overflow); err != nil {
 		return 0, err
 	}
-	if err := s.log.Flush(0); err != nil {
+	// Force only this transaction's records (WAL rule for the page writes
+	// above), not every other committer's unforced tail.
+	if err := s.log.Flush(t.LastLSN()); err != nil {
 		return 0, err
 	}
 	return slot, nil
@@ -1113,9 +1119,7 @@ func (s *Server) AllocRun(db uint32, nPages int) (uint32, int64, int, error) {
 // FreeRun implements proto.Conn.
 func (s *Server) FreeRun(db uint32, areaID uint32, start int64) error {
 	s.stats.messages.Add(1)
-	s.mu.Lock()
-	a := s.areas[areaID]
-	s.mu.Unlock()
+	a := s.lookupArea(areaID)
 	if a == nil {
 		return ErrNoArea
 	}
@@ -1125,9 +1129,7 @@ func (s *Server) FreeRun(db uint32, areaID uint32, start int64) error {
 // ReadRun implements proto.Conn.
 func (s *Server) ReadRun(db uint32, areaID uint32, start int64, nPages int) ([]byte, error) {
 	s.stats.messages.Add(1)
-	s.mu.Lock()
-	a := s.areas[areaID]
-	s.mu.Unlock()
+	a := s.lookupArea(areaID)
 	if a == nil {
 		return nil, ErrNoArea
 	}
@@ -1143,9 +1145,7 @@ func (s *Server) ReadRun(db uint32, areaID uint32, start int64, nPages int) ([]b
 // WriteRun implements proto.Conn.
 func (s *Server) WriteRun(db uint32, areaID uint32, start int64, data []byte) error {
 	s.stats.messages.Add(1)
-	s.mu.Lock()
-	a := s.areas[areaID]
-	s.mu.Unlock()
+	a := s.lookupArea(areaID)
 	if a == nil {
 		return ErrNoArea
 	}
@@ -1274,17 +1274,15 @@ func (s *Server) Checkpoint() error {
 
 // Close flushes and shuts down.
 func (s *Server) Close() error {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
+	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.closed = true
+	s.areaMu.RLock()
 	areas := make([]*area.Area, 0, len(s.areas))
 	for _, a := range s.areas {
 		areas = append(areas, a)
 	}
-	s.mu.Unlock()
+	s.areaMu.RUnlock()
 	if err := s.log.Close(); err != nil {
 		return err
 	}

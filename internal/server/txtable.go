@@ -1,0 +1,96 @@
+package server
+
+import (
+	"sync"
+
+	"bess/internal/tx"
+)
+
+// txShards is the shard count of the active-transaction table. Power of two;
+// 32 is comfortably above the concurrency one server sees.
+const txShards = 32
+
+// txTable is the server's sharded active-transaction map. Commits, aborts,
+// and lock calls from different clients hash to different shards instead of
+// contending on one server-wide mutex.
+type txTable struct {
+	shards [txShards]txShard
+}
+
+type txShard struct {
+	mu sync.Mutex
+	m  map[uint64]txEntry
+}
+
+type txEntry struct {
+	t     *tx.Tx
+	owner uint32
+}
+
+func (tt *txTable) init() {
+	for i := range tt.shards {
+		tt.shards[i].m = make(map[uint64]txEntry)
+	}
+}
+
+func (tt *txTable) shard(id uint64) *txShard {
+	// Fibonacci hashing spreads the sequential ids servers hand out.
+	return &tt.shards[(id*0x9E3779B97F4A7C15)>>(64-5)]
+}
+
+// get returns the live branch for id, or nil.
+func (tt *txTable) get(id uint64) *tx.Tx {
+	s := tt.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[id].t
+}
+
+// put registers a branch (recovery adoption).
+func (tt *txTable) put(id uint64, t *tx.Tx, owner uint32) {
+	s := tt.shard(id)
+	s.mu.Lock()
+	s.m[id] = txEntry{t: t, owner: owner}
+	s.mu.Unlock()
+}
+
+// ensure returns the live branch for id, creating it with mk under the
+// shard lock so concurrent calls for the same id cannot double-begin.
+func (tt *txTable) ensure(id uint64, owner uint32, mk func() *tx.Tx) *tx.Tx {
+	s := tt.shard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[id]; ok {
+		return e.t
+	}
+	t := mk()
+	s.m[id] = txEntry{t: t, owner: owner}
+	return t
+}
+
+// forget drops id from the table.
+func (tt *txTable) forget(id uint64) {
+	s := tt.shard(id)
+	s.mu.Lock()
+	delete(s.m, id)
+	s.mu.Unlock()
+}
+
+// takeOwned removes and returns every branch owned by client (disconnect).
+func (tt *txTable) takeOwned(client uint32) []*tx.Tx {
+	var out []*tx.Tx
+	for i := range tt.shards {
+		s := &tt.shards[i]
+		s.mu.Lock()
+		for id, e := range s.m {
+			if e.owner == client {
+				if e.t != nil {
+					out = append(out, e.t)
+				}
+				delete(s.m, id)
+			}
+		}
+		s.mu.Unlock()
+	}
+	return out
+}

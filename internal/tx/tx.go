@@ -263,9 +263,10 @@ func (t *Tx) Abort() error {
 	next := t.lastLSN
 	t.mu.Unlock()
 
-	// The records to undo may still be buffered; force them so ReadRecord
-	// sees the chain.
-	if err := t.m.log.Flush(0); err != nil {
+	// The records to undo may still be buffered; force through this
+	// transaction's last record so ReadRecord sees the chain — no need to
+	// wait on other transactions' unforced tails beyond it.
+	if err := t.m.log.Flush(next); err != nil {
 		return err
 	}
 	buf := make([]byte, page.Size)

@@ -307,18 +307,35 @@ func (b *memBacking) Size() int64 {
 	return int64(len(b.buf))
 }
 
-// Log is an append-only write-ahead log with group flushing. Safe for
-// concurrent use.
+// Log is an append-only write-ahead log with group commit. Safe for
+// concurrent use: committers that arrive while a sync is in flight park on
+// a condition variable and are woken when the leader's sync covers their
+// LSN, so N concurrent commits share ~1 fsync.
 type Log struct {
-	mu      sync.Mutex
-	back    backing
-	tail    []byte   // buffered, unflushed bytes
-	nextLSN page.LSN // LSN of the next record to append
-	flushed page.LSN // all records below this are durable
-	closed  bool
+	mu       sync.Mutex
+	syncDone sync.Cond // broadcast at the end of every sync round
+	back     backing
+	tail     []byte   // buffered bytes not yet handed to a sync round
+	tailAt   page.LSN // byte offset of tail[0]
+	nextLSN  page.LSN // LSN of the next record to append
+	flushed  page.LSN // all bytes below this are durable
+	syncing  bool     // a leader is writing+syncing outside the lock
+	closed   bool
 
 	appends int64
 	flushes int64
+	syncs   int64
+	grouped int64
+}
+
+// LogStats are cumulative log counters. Under group commit Syncs stays far
+// below Flushes: followers whose LSN was covered by another caller's sync
+// count as GroupedCommits instead of paying their own.
+type LogStats struct {
+	Appends        int64 // records buffered
+	Flushes        int64 // Flush calls
+	Syncs          int64 // physical write+sync rounds against the backing
+	GroupedCommits int64 // Flush calls made durable by another caller's sync
 }
 
 // firstLSN is the LSN of the first record: offsets start after a small file
@@ -362,6 +379,7 @@ func OpenMemFrom(img []byte) (*Log, error) {
 }
 
 func (l *Log) init() error {
+	l.syncDone.L = &l.mu
 	size := l.back.Size()
 	if size == 0 {
 		if _, err := l.back.WriteAt(logMagic, 0); err != nil {
@@ -370,7 +388,7 @@ func (l *Log) init() error {
 		if err := l.back.Sync(); err != nil {
 			return err
 		}
-		l.nextLSN, l.flushed = firstLSN, firstLSN
+		l.nextLSN, l.flushed, l.tailAt = firstLSN, firstLSN, firstLSN
 		return nil
 	}
 	hdr := make([]byte, 8)
@@ -391,7 +409,7 @@ func (l *Log) init() error {
 		}
 		lsn = next
 	}
-	l.nextLSN, l.flushed = lsn, lsn
+	l.nextLSN, l.flushed, l.tailAt = lsn, lsn, lsn
 	return nil
 }
 
@@ -416,29 +434,77 @@ func (l *Log) Append(rec *Record) (page.LSN, error) {
 	return lsn, nil
 }
 
-// Flush forces all records with LSN <= upTo (0 = everything) to the backing
-// store — the WAL force at commit.
+// Flush forces the log: on return every record with LSN <= upTo is durable
+// (0 = everything buffered at entry) — the WAL force at commit. Concurrent
+// callers form a group commit: one leader writes and syncs the accumulated
+// tail for the whole group while the rest park on a condition variable.
 func (l *Log) Flush(upTo page.LSN) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
 	}
-	if upTo != 0 && upTo < l.flushed {
-		return nil
-	}
-	if len(l.tail) == 0 {
-		return nil
-	}
-	if _, err := l.back.WriteAt(l.tail, int64(l.flushed)); err != nil {
-		return err
-	}
-	if err := l.back.Sync(); err != nil {
-		return err
-	}
-	l.flushed += page.LSN(len(l.tail))
-	l.tail = nil
 	l.flushes++
+	return l.flushTo(l.target(upTo))
+}
+
+// target converts Flush's inclusive record LSN into the exclusive byte
+// offset the log must be durable through. The durable frontier only moves
+// in whole records, so upTo+1 covers the record starting at upTo.
+func (l *Log) target(upTo page.LSN) page.LSN {
+	if upTo == 0 || upTo >= l.nextLSN {
+		return l.nextLSN
+	}
+	return upTo + 1
+}
+
+// flushTo blocks until the log is durable through target. Called with l.mu
+// held; returns with it held.
+func (l *Log) flushTo(target page.LSN) error {
+	waited := false
+	for {
+		if l.closed {
+			return ErrClosed
+		}
+		// <=, not <: an already-durable target must not rewrite and
+		// re-sync the tail.
+		if target <= l.flushed {
+			if waited {
+				l.grouped++
+			}
+			return nil
+		}
+		if !l.syncing {
+			break
+		}
+		waited = true
+		l.syncDone.Wait()
+	}
+	// Leader: detach the accumulated tail and sync it outside the lock so
+	// appends and later committers keep running; they ride this round if
+	// its snapshot covers them, or lead the next one.
+	buf, base := l.tail, l.tailAt
+	l.tail, l.tailAt = nil, l.nextLSN
+	l.syncing = true
+	l.mu.Unlock()
+	_, err := l.back.WriteAt(buf, int64(base))
+	if err == nil {
+		err = l.back.Sync()
+	}
+	l.mu.Lock()
+	l.syncing = false
+	if err != nil {
+		// Put the unsynced bytes back in front of whatever was appended
+		// meanwhile; woken followers retry leadership and surface their
+		// own error.
+		l.tail = append(buf, l.tail...)
+		l.tailAt = base
+		l.syncDone.Broadcast()
+		return err
+	}
+	l.flushed = base + page.LSN(len(buf))
+	l.syncs++
+	l.syncDone.Broadcast()
 	return nil
 }
 
@@ -456,11 +522,11 @@ func (l *Log) NextLSN() page.LSN {
 	return l.nextLSN
 }
 
-// Stats reports appends and flush (force) counts.
-func (l *Log) Stats() (appends, flushes int64) {
+// Stats reports cumulative log counters.
+func (l *Log) Stats() LogStats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.appends, l.flushes
+	return LogStats{Appends: l.appends, Flushes: l.flushes, Syncs: l.syncs, GroupedCommits: l.grouped}
 }
 
 // readAt reads the durable record at lsn. Returns (nil, lsn, nil) at a clean
@@ -542,11 +608,19 @@ func FirstLSN() page.LSN { return firstLSN }
 
 // Close flushes and closes the log.
 func (l *Log) Close() error {
-	if err := l.Flush(0); err != nil && err != ErrClosed {
-		return err
-	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if err := l.flushTo(l.nextLSN); err != nil && err != ErrClosed {
+		return err
+	}
+	// Wait out any round still in flight for later appends before closing
+	// the backing underneath it.
+	for l.syncing {
+		l.syncDone.Wait()
+	}
 	if l.closed {
 		return nil
 	}

@@ -155,9 +155,9 @@ func TestFlushUpToAlreadyFlushed(t *testing.T) {
 	if err := l.Flush(lsn); err != nil {
 		t.Fatal(err)
 	}
-	appends, flushes := l.Stats()
-	if appends != 1 || flushes != 1 {
-		t.Fatalf("stats = %d/%d", appends, flushes)
+	st := l.Stats()
+	if st.Appends != 1 || st.Syncs != 1 {
+		t.Fatalf("stats = %d/%d", st.Appends, st.Syncs)
 	}
 }
 
