@@ -39,7 +39,9 @@ func main() {
 		log.Fatalf("open: %v", err)
 	}
 	info := srv.Inspect()
-	srv.Close()
+	if err := srv.Close(); err != nil {
+		log.Fatalf("close: %v", err)
+	}
 
 	fmt.Printf("BeSS server directory %s\n", *dir)
 	for _, db := range info.Databases {
@@ -65,7 +67,9 @@ func main() {
 		if *showSegs {
 			dumpSegments(a)
 		}
-		a.Close()
+		if err := a.Close(); err != nil {
+			fmt.Printf("%s: close: %v\n", path, err)
+		}
 	}
 
 	if *showLog {
@@ -74,7 +78,11 @@ func main() {
 		if err != nil {
 			log.Fatalf("open log: %v", err)
 		}
-		defer l.Close()
+		defer func() {
+			if err := l.Close(); err != nil {
+				log.Fatalf("close log: %v", err)
+			}
+		}()
 		n := 0
 		err = l.Iterate(0, func(lsn page.LSN, rec *wal.Record) error {
 			n++

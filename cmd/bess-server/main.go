@@ -31,7 +31,6 @@ func main() {
 	if err != nil {
 		log.Fatalf("open server: %v", err)
 	}
-	defer srv.Close()
 
 	l, err := rpc.Listen(*addr)
 	if err != nil {
@@ -65,7 +64,14 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
-	l.Close()
+	if err := l.Close(); err != nil {
+		log.Printf("close listener: %v", err)
+	}
 	st := srv.Snapshot()
 	log.Printf("served %d messages, %d commits, %d callbacks", st.Messages, st.Commits, st.Callbacks)
+	// The final close flushes the WAL; a failure here means the last
+	// commits may not be durable and must not exit 0.
+	if err := srv.Close(); err != nil {
+		log.Fatalf("close server: %v", err)
+	}
 }

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// directives are the machine-readable annotations bess-vet consumes:
+//
+//	//bess:lockorder A.x < B.y < ...   (package server, lockorder.go)
+//	//bess:holds mu                    (func contract: caller holds recv.mu)
+//	//bess:prepublish                  (func builds a value not yet shared)
+//	// guarded by mu                   (struct field annotation)
+type directives struct {
+	// rank maps a lock class ("Server.areaMu") to its position in the
+	// declared hierarchy (1-based; outermost lowest). 0 = unranked.
+	rank      map[string]int
+	orderSrc  token.Pos // where the //bess:lockorder directive lives
+	orderSeen []string  // classes in declaration order, for messages
+
+	holds      map[*types.Func]string // func -> mutex field name
+	prepublish map[*types.Func]bool
+	guarded    map[*types.Var]string // struct field -> mutex field name
+}
+
+func newDirectives() *directives {
+	return &directives{
+		rank:       make(map[string]int),
+		holds:      make(map[*types.Func]string),
+		prepublish: make(map[*types.Func]bool),
+		guarded:    make(map[*types.Var]string),
+	}
+}
+
+// collect scans one type-checked package for all directive forms.
+func (d *directives) collect(p *pkg) error {
+	for _, f := range p.files {
+		// File-level comments: the lockorder declaration may sit in any
+		// comment group (bess keeps it in the package doc of lockorder.go).
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if rest, ok := strings.CutPrefix(text, "bess:lockorder "); ok {
+					if err := d.parseOrder(rest, c.Pos()); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			switch n := decl.(type) {
+			case *ast.FuncDecl:
+				d.collectFunc(p, n)
+			case *ast.GenDecl:
+				for _, spec := range n.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					d.collectGuarded(p, st)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (d *directives) parseOrder(spec string, pos token.Pos) error {
+	if len(d.orderSeen) > 0 {
+		return fmt.Errorf("duplicate //bess:lockorder directive")
+	}
+	d.orderSrc = pos
+	for i, part := range strings.Split(spec, "<") {
+		name := strings.TrimSpace(part)
+		if name == "" || !strings.Contains(name, ".") {
+			return fmt.Errorf("//bess:lockorder: bad lock class %q (want Type.field)", name)
+		}
+		if _, dup := d.rank[name]; dup {
+			return fmt.Errorf("//bess:lockorder: %s listed twice", name)
+		}
+		d.rank[name] = i + 1
+		d.orderSeen = append(d.orderSeen, name)
+	}
+	return nil
+}
+
+func (d *directives) collectFunc(p *pkg, fn *ast.FuncDecl) {
+	if fn.Doc == nil {
+		return
+	}
+	obj, _ := p.info.Defs[fn.Name].(*types.Func)
+	if obj == nil {
+		return
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if rest, ok := strings.CutPrefix(text, "bess:holds "); ok {
+			d.holds[obj] = strings.TrimSpace(rest)
+		}
+		if text == "bess:prepublish" {
+			d.prepublish[obj] = true
+		}
+	}
+}
+
+// collectGuarded records `// guarded by <mu>` field annotations. The marker
+// may appear in the field's trailing line comment or its doc comment, and
+// may be followed by prose after a separator ("guarded by mu; ...").
+func (d *directives) collectGuarded(p *pkg, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		mu := guardedMu(field.Comment)
+		if mu == "" {
+			mu = guardedMu(field.Doc)
+		}
+		if mu == "" {
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := p.info.Defs[name].(*types.Var); ok {
+				d.guarded[v] = mu
+			}
+		}
+	}
+}
+
+func guardedMu(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		idx := strings.Index(text, "guarded by ")
+		if idx < 0 {
+			continue
+		}
+		rest := text[idx+len("guarded by "):]
+		// The mutex name ends at the first separator or space.
+		end := strings.IndexFunc(rest, func(r rune) bool {
+			return r == ';' || r == ',' || r == ' ' || r == '.' || r == ':'
+		})
+		if end >= 0 {
+			rest = rest[:end]
+		}
+		if rest != "" {
+			return rest
+		}
+	}
+	return ""
+}

@@ -1,0 +1,755 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Event kinds produced by the lock-flow walk of one function. Each event
+// carries a snapshot of the locks the executing goroutine holds at that
+// point, so the analyzers (lockorder, guarded, defers) are straight-line
+// consumers with no flow logic of their own.
+type eventKind int
+
+const (
+	evAcquire    eventKind = iota // a Lock/RLock/successful TryLock
+	evCall                        // a call to a resolved module function
+	evAccess                      // a read or write of an annotated struct field
+	evExit                        // a return statement or fall-off-the-end
+	evBranchLeak                  // a lock held on some but not all branch paths
+)
+
+type heldLock struct {
+	name     string // instance identity, e.g. "s.areaMu", "l.mu"
+	class    string // declared class "Server.areaMu", "" if untyped/local
+	shared   bool   // held via RLock
+	deferred bool   // a defer guarantees the release
+	contract bool   // seeded from //bess:holds (caller owns the release)
+	pos      token.Pos
+}
+
+type event struct {
+	kind   eventKind
+	pos    token.Pos
+	held   []heldLock // snapshot before the event takes effect
+	name   string     // acquire: instance; access: owner expr; branchLeak: instance
+	class  string     // acquire: lock class
+	shared bool       // acquire: RLock
+
+	callee   *types.Func // evCall
+	recvExpr string      // evCall: rendered receiver ("s.cat"), "" if none
+
+	field *types.Var // evAccess
+	write bool       // evAccess
+
+	inLit bool // evExit: exit of a function literal, not the function itself
+}
+
+// flowResult is the per-function output of the walk.
+type flowResult struct {
+	fn     *types.Func
+	decl   *ast.FuncDecl
+	pkg    *pkg
+	events []event
+}
+
+type fstate struct {
+	held []heldLock
+}
+
+func (st *fstate) copy() *fstate {
+	c := &fstate{held: make([]heldLock, len(st.held))}
+	copy(c.held, st.held)
+	return c
+}
+
+func (st *fstate) find(name string) int {
+	for i := len(st.held) - 1; i >= 0; i-- {
+		if st.held[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+type flow struct {
+	p        *pkg
+	dirs     *directives
+	res      *flowResult
+	exempt   map[types.Object]bool // locals still private to this function
+	contract map[string]bool       // lock names seeded by //bess:holds
+	litDepth int                   // >0 while walking a function literal body
+}
+
+// flowsOf runs the lock-flow walk over every function in the package.
+func flowsOf(p *pkg, dirs *directives) []*flowResult {
+	var out []*flowResult
+	for _, f := range p.files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				out = append(out, walkFunc(p, dirs, fd))
+			}
+		}
+	}
+	return out
+}
+
+// walkFunc runs the lock-flow analysis over one function declaration.
+func walkFunc(p *pkg, dirs *directives, decl *ast.FuncDecl) *flowResult {
+	obj, _ := p.info.Defs[decl.Name].(*types.Func)
+	res := &flowResult{fn: obj, decl: decl, pkg: p}
+	if decl.Body == nil {
+		return res
+	}
+	w := &flow{p: p, dirs: dirs, res: res, exempt: make(map[types.Object]bool), contract: make(map[string]bool)}
+	st := &fstate{}
+	// //bess:holds mu seeds the state: the caller acquired recv.mu and will
+	// release it; the body may unlock/relock but must exit with it held.
+	if obj != nil {
+		if mu, ok := dirs.holds[obj]; ok && decl.Recv != nil && len(decl.Recv.List) > 0 && len(decl.Recv.List[0].Names) > 0 {
+			recv := decl.Recv.List[0].Names[0].Name
+			name := recv + "." + mu
+			w.contract[name] = true
+			st.held = append(st.held, heldLock{
+				name:     name,
+				class:    w.classOfRecvField(decl, mu),
+				contract: true,
+				pos:      decl.Pos(),
+			})
+		}
+	}
+	if !w.walkBlock(decl.Body, st) {
+		w.emitExit(decl.Body.End(), st)
+	}
+	return res
+}
+
+// classOfRecvField resolves "TypeName.mu" for a //bess:holds seed.
+func (w *flow) classOfRecvField(decl *ast.FuncDecl, mu string) string {
+	t := decl.Recv.List[0].Type
+	for {
+		switch n := t.(type) {
+		case *ast.StarExpr:
+			t = n.X
+		case *ast.IndexExpr: // generic receiver, not used here
+			t = n.X
+		case *ast.Ident:
+			return n.Name + "." + mu
+		default:
+			return ""
+		}
+	}
+}
+
+func (w *flow) snap(st *fstate) []heldLock {
+	out := make([]heldLock, len(st.held))
+	copy(out, st.held)
+	return out
+}
+
+func (w *flow) emitExit(pos token.Pos, st *fstate) {
+	w.res.events = append(w.res.events, event{kind: evExit, pos: pos, held: w.snap(st), inLit: w.litDepth > 0})
+}
+
+// --- expression rendering and lock-op classification ---
+
+// render prints the receiver expression of a lock op or field access in a
+// canonical textual form; "" means unrepresentable (and untracked).
+func render(e ast.Expr) string {
+	switch n := e.(type) {
+	case *ast.Ident:
+		return n.Name
+	case *ast.SelectorExpr:
+		base := render(n.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + n.Sel.Name
+	case *ast.IndexExpr:
+		base := render(n.X)
+		idx := render(n.Index)
+		if base == "" {
+			return ""
+		}
+		if idx == "" {
+			idx = "?"
+		}
+		return base + "[" + idx + "]"
+	case *ast.ParenExpr:
+		return render(n.X)
+	case *ast.StarExpr:
+		return render(n.X)
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			return render(n.X)
+		}
+	case *ast.BasicLit:
+		return n.Value
+	}
+	return ""
+}
+
+// baseObject returns the types.Object of the leftmost identifier of an
+// owner expression (for the constructor-local exemption).
+func (w *flow) baseObject(e ast.Expr) types.Object {
+	for {
+		switch n := e.(type) {
+		case *ast.Ident:
+			return w.p.info.Uses[n]
+		case *ast.SelectorExpr:
+			e = n.X
+		case *ast.IndexExpr:
+			e = n.X
+		case *ast.ParenExpr:
+			e = n.X
+		case *ast.StarExpr:
+			e = n.X
+		default:
+			return nil
+		}
+	}
+}
+
+type lockOp struct {
+	recv    ast.Expr
+	name    string // rendered instance
+	class   string // "Type.field" when the receiver is a struct field
+	method  string // Lock, RLock, Unlock, RUnlock, TryLock, TryRLock
+	variant string // "sync" or "lockcheck"
+}
+
+var lockMethods = map[string]bool{
+	"Lock": true, "RLock": true, "Unlock": true,
+	"RUnlock": true, "TryLock": true, "TryRLock": true,
+}
+
+// asLockOp classifies call as an operation on a sync or lockcheck mutex.
+func (w *flow) asLockOp(call *ast.CallExpr) *lockOp {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !lockMethods[sel.Sel.Name] {
+		return nil
+	}
+	tv, ok := w.p.info.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	variant := ""
+	if obj.Pkg() != nil {
+		switch {
+		case obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex"):
+			variant = "sync"
+		case strings.HasSuffix(obj.Pkg().Path(), "internal/lockcheck") && (obj.Name() == "Mutex" || obj.Name() == "RWMutex"):
+			variant = "lockcheck"
+		}
+	}
+	if variant == "" {
+		return nil
+	}
+	op := &lockOp{recv: sel.X, name: render(sel.X), method: sel.Sel.Name, variant: variant}
+	// Lock class: the receiver is a named field of some struct.
+	if fieldSel, ok := sel.X.(*ast.SelectorExpr); ok {
+		if s, ok := w.p.info.Selections[fieldSel]; ok && s.Kind() == types.FieldVal {
+			rt := s.Recv()
+			if ptr, ok := rt.(*types.Pointer); ok {
+				rt = ptr.Elem()
+			}
+			if n, ok := rt.(*types.Named); ok {
+				op.class = n.Obj().Name() + "." + fieldSel.Sel.Name
+			}
+		}
+	}
+	return op
+}
+
+func (w *flow) applyAcquire(op *lockOp, pos token.Pos, st *fstate) {
+	shared := op.method == "RLock" || op.method == "TryRLock"
+	w.res.events = append(w.res.events, event{
+		kind: evAcquire, pos: pos, held: w.snap(st),
+		name: op.name, class: op.class, shared: shared,
+	})
+	st.held = append(st.held, heldLock{name: op.name, class: op.class, shared: shared, contract: w.contract[op.name], pos: pos})
+}
+
+func (w *flow) applyRelease(op *lockOp, st *fstate) {
+	if i := st.find(op.name); i >= 0 {
+		st.held = append(st.held[:i], st.held[i+1:]...)
+	}
+	// Releasing a lock the walker does not believe is held is not reported:
+	// conditional-lock merges lose may-held entries by design.
+}
+
+// --- expression scanning ---
+
+// scanExpr walks an expression tree emitting call, access, and lock events.
+func (w *flow) scanExpr(e ast.Expr, st *fstate, write bool) {
+	switch n := e.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		if op := w.asLockOp(n); op != nil {
+			switch op.method {
+			case "Lock", "RLock":
+				w.applyAcquire(op, n.Pos(), st)
+			case "TryLock", "TryRLock":
+				// Outside the `if mu.TryLock()` form: treat as acquired
+				// (conservative; failed tries never hold anything).
+				w.applyAcquire(op, n.Pos(), st)
+			case "Unlock", "RUnlock":
+				w.applyRelease(op, st)
+			}
+			return
+		}
+		// delete(m.field, k) writes through the map field.
+		if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+			w.scanExpr(n.Args[0], st, true)
+			w.scanExpr(n.Args[1], st, false)
+			return
+		}
+		w.emitCall(n, st)
+		for _, a := range n.Args {
+			w.scanExpr(a, st, false)
+		}
+		// Calls through selector chains read the chain.
+		if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+			w.scanExpr(sel.X, st, false)
+		}
+	case *ast.SelectorExpr:
+		w.emitAccess(n, st, write)
+		w.scanExpr(n.X, st, false)
+	case *ast.IndexExpr:
+		// Indexing an annotated map/slice field reads or writes the field.
+		w.scanExpr(n.X, st, write)
+		w.scanExpr(n.Index, st, false)
+	case *ast.IndexListExpr:
+		w.scanExpr(n.X, st, write)
+		for _, ix := range n.Indices {
+			w.scanExpr(ix, st, false)
+		}
+	case *ast.SliceExpr:
+		w.scanExpr(n.X, st, write)
+		w.scanExpr(n.Low, st, false)
+		w.scanExpr(n.High, st, false)
+		w.scanExpr(n.Max, st, false)
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			// Taking a field's address escapes it; require the write lock.
+			w.scanExpr(n.X, st, true)
+			return
+		}
+		w.scanExpr(n.X, st, false)
+	case *ast.BinaryExpr:
+		w.scanExpr(n.X, st, false)
+		w.scanExpr(n.Y, st, false)
+	case *ast.ParenExpr:
+		w.scanExpr(n.X, st, write)
+	case *ast.StarExpr:
+		w.scanExpr(n.X, st, write)
+	case *ast.TypeAssertExpr:
+		w.scanExpr(n.X, st, false)
+	case *ast.CompositeLit:
+		for _, el := range n.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.scanExpr(kv.Value, st, false)
+				continue
+			}
+			w.scanExpr(el, st, false)
+		}
+	case *ast.FuncLit:
+		// A function literal runs in its own dynamic context (goroutine,
+		// callback, deferred cleanup): analyze with an empty held set.
+		w.litDepth++
+		sub := &fstate{}
+		if !w.walkBlock(n.Body, sub) {
+			w.emitExit(n.Body.End(), sub)
+		}
+		w.litDepth--
+	case *ast.KeyValueExpr:
+		w.scanExpr(n.Value, st, false)
+	}
+}
+
+func (w *flow) emitCall(call *ast.CallExpr, st *fstate) {
+	var obj types.Object
+	var recvExpr string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj = w.p.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = w.p.info.Uses[fun.Sel]
+		recvExpr = render(fun.X)
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	w.res.events = append(w.res.events, event{
+		kind: evCall, pos: call.Pos(), held: w.snap(st),
+		callee: fn, recvExpr: recvExpr,
+	})
+}
+
+// emitAccess reports a field read/write when the field carries a
+// `guarded by` annotation and the owner is not a constructor-local value.
+func (w *flow) emitAccess(sel *ast.SelectorExpr, st *fstate, write bool) {
+	s, ok := w.p.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return
+	}
+	fieldVar, ok := s.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	if _, guarded := w.dirs.guarded[fieldVar]; !guarded {
+		return
+	}
+	if base := w.baseObject(sel.X); base != nil && w.exempt[base] {
+		return
+	}
+	w.res.events = append(w.res.events, event{
+		kind: evAccess, pos: sel.Pos(), held: w.snap(st),
+		name: render(sel.X), field: fieldVar, write: write,
+	})
+}
+
+// --- statement walking ---
+
+func (w *flow) walkBlock(b *ast.BlockStmt, st *fstate) bool {
+	for _, s := range b.List {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// isConstructorRHS reports whether e builds a brand-new value (composite
+// literal, &literal, or new(T)) that no other goroutine can reference yet.
+func isConstructorRHS(e ast.Expr) bool {
+	switch n := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			_, ok := n.X.(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "new" {
+			return true
+		}
+	}
+	return false
+}
+
+// terminates reports whether a call never returns (panic, os.Exit, Fatal*).
+func (w *flow) callTerminates(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if name == "Exit" || name == "Goexit" || strings.HasPrefix(name, "Fatal") {
+			if id, ok := fun.X.(*ast.Ident); ok {
+				switch id.Name {
+				case "os", "runtime", "log", "t", "b", "tb":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (w *flow) walkStmt(s ast.Stmt, st *fstate) bool {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok && w.callTerminates(call) {
+			w.scanExpr(n.X, st, false)
+			return true
+		}
+		w.scanExpr(n.X, st, false)
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			w.scanExpr(r, st, false)
+		}
+		for i, l := range n.Lhs {
+			if id, ok := l.(*ast.Ident); ok {
+				if n.Tok == token.DEFINE && i < len(n.Rhs) && isConstructorRHS(n.Rhs[i]) {
+					if obj := w.p.info.Defs[id]; obj != nil {
+						w.exempt[obj] = true
+					}
+				}
+				continue // writes to locals carry no annotation
+			}
+			w.scanExpr(l, st, true)
+		}
+	case *ast.IncDecStmt:
+		w.scanExpr(n.X, st, true)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, st, false)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		w.walkDefer(n, st)
+	case *ast.GoStmt:
+		// The spawned goroutine starts with an empty held set.
+		if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			w.litDepth++
+			sub := &fstate{}
+			if !w.walkBlock(fl.Body, sub) {
+				w.emitExit(fl.Body.End(), sub)
+			}
+			w.litDepth--
+		} else {
+			empty := &fstate{}
+			w.emitCall(n.Call, empty)
+		}
+		for _, a := range n.Call.Args {
+			w.scanExpr(a, st, false)
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			w.scanExpr(r, st, false)
+		}
+		w.emitExit(n.Pos(), st)
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing construct, not the
+		// function; the loop/switch walk treats them as path ends.
+		return true
+	case *ast.BlockStmt:
+		return w.walkBlock(n, st)
+	case *ast.IfStmt:
+		return w.walkIf(n, st)
+	case *ast.ForStmt:
+		if n.Init != nil {
+			w.walkStmt(n.Init, st)
+		}
+		w.scanExpr(n.Cond, st, false)
+		body := st.copy()
+		w.walkBlock(n.Body, body)
+		if n.Post != nil {
+			w.walkStmt(n.Post, body)
+		}
+		w.leakCheck(n.Body.End(), st, body)
+	case *ast.RangeStmt:
+		w.scanExpr(n.X, st, false)
+		body := st.copy()
+		w.walkBlock(n.Body, body)
+		w.leakCheck(n.Body.End(), st, body)
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			w.walkStmt(n.Init, st)
+		}
+		w.scanExpr(n.Tag, st, false)
+		return w.walkCases(n.Body, st, true)
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			w.walkStmt(n.Init, st)
+		}
+		w.walkStmt(n.Assign, st)
+		return w.walkCases(n.Body, st, true)
+	case *ast.SelectStmt:
+		return w.walkCases(n.Body, st, false)
+	case *ast.LabeledStmt:
+		return w.walkStmt(n.Stmt, st)
+	case *ast.SendStmt:
+		w.scanExpr(n.Chan, st, false)
+		w.scanExpr(n.Value, st, false)
+	}
+	return false
+}
+
+// walkDefer handles `defer X`: unlock defers satisfy every exit path.
+func (w *flow) walkDefer(n *ast.DeferStmt, st *fstate) {
+	if op := w.asLockOp(n.Call); op != nil {
+		if op.method == "Unlock" || op.method == "RUnlock" {
+			if i := st.find(op.name); i >= 0 {
+				st.held[i].deferred = true
+			}
+		}
+		return
+	}
+	if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+		// A deferred closure that unlocks counts as a deferred release.
+		ast.Inspect(fl.Body, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if op := w.asLockOp(call); op != nil && (op.method == "Unlock" || op.method == "RUnlock") {
+					if i := st.find(op.name); i >= 0 {
+						st.held[i].deferred = true
+					}
+				}
+			}
+			return true
+		})
+		return
+	}
+	w.emitCall(n.Call, st)
+	for _, a := range n.Call.Args {
+		w.scanExpr(a, st, false)
+	}
+}
+
+// tryLockCond matches `mu.TryLock()` / `!mu.TryLock()` conditions.
+// Returns the op and whether the then-branch is the success branch.
+func (w *flow) tryLockCond(cond ast.Expr) (*lockOp, bool) {
+	neg := false
+	if u, ok := cond.(*ast.UnaryExpr); ok && u.Op == token.NOT {
+		neg = true
+		cond = u.X
+	}
+	call, ok := cond.(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	op := w.asLockOp(call)
+	if op == nil || (op.method != "TryLock" && op.method != "TryRLock") {
+		return nil, false
+	}
+	return op, !neg
+}
+
+func (w *flow) walkIf(n *ast.IfStmt, st *fstate) bool {
+	if n.Init != nil {
+		w.walkStmt(n.Init, st)
+	}
+	thenSt := st.copy()
+	elseSt := st.copy()
+	if op, thenHolds := w.tryLockCond(n.Cond); op != nil {
+		if thenHolds {
+			w.applyAcquire(op, n.Cond.Pos(), thenSt)
+		} else {
+			w.applyAcquire(op, n.Cond.Pos(), elseSt)
+		}
+	} else {
+		w.scanExpr(n.Cond, st, false)
+		thenSt = st.copy()
+		elseSt = st.copy()
+	}
+	tTerm := w.walkBlock(n.Body, thenSt)
+	eTerm := false
+	if n.Else != nil {
+		eTerm = w.walkStmt(n.Else, elseSt)
+	}
+	switch {
+	case tTerm && eTerm:
+		return true
+	case tTerm:
+		st.held = elseSt.held
+	case eTerm:
+		st.held = thenSt.held
+	default:
+		w.leakCheck(n.End(), thenSt, elseSt)
+		st.held = intersectHeld(thenSt.held, elseSt.held)
+	}
+	return false
+}
+
+// walkCases merges switch/select clause bodies. implicitSkip adds the
+// "no case matched" path for switches without a default clause.
+func (w *flow) walkCases(body *ast.BlockStmt, st *fstate, implicitSkip bool) bool {
+	var survivors [][]heldLock
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, st, false)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm, st.copy())
+			} else {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		cst := st.copy()
+		term := false
+		for _, s := range stmts {
+			if w.walkStmt(s, cst) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			survivors = append(survivors, cst.held)
+		}
+	}
+	if implicitSkip && !hasDefault {
+		survivors = append(survivors, st.copy().held)
+	}
+	if len(survivors) == 0 {
+		return len(body.List) > 0
+	}
+	merged := survivors[0]
+	for _, s := range survivors[1:] {
+		merged = intersectHeld(merged, s)
+	}
+	st.held = merged
+	return false
+}
+
+// leakCheck flags locks held after one branch but not another — the
+// conditionally-leaked-lock bug class (an un-released TryLock arm, or a
+// Lock with the Unlock only on one path).
+func (w *flow) leakCheck(pos token.Pos, a, b *fstate) {
+	report := func(only *fstate, other *fstate) {
+		for _, h := range only.held {
+			if h.deferred || h.contract {
+				continue
+			}
+			found := false
+			for _, o := range other.held {
+				if o.name == h.name {
+					found = true
+					break
+				}
+			}
+			if !found {
+				w.res.events = append(w.res.events, event{
+					kind: evBranchLeak, pos: pos, name: h.name, held: []heldLock{h},
+				})
+			}
+		}
+	}
+	report(a, b)
+	report(b, a)
+}
+
+func intersectHeld(a, b []heldLock) []heldLock {
+	var out []heldLock
+	for _, h := range a {
+		for _, o := range b {
+			if o.name == h.name {
+				m := h
+				m.deferred = h.deferred && o.deferred
+				out = append(out, m)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+// Package durab reproduces the durability bugs bess-vet was built to
+// catch: the unchecked Sync/Close sites that shipped in internal/area and
+// cmd/ before the analyzer existed.
+package durab
+
+import "os"
+
+// WriteMeta mirrors the pre-fix area.CreateFile cleanup path (Close error
+// vanished) and an unchecked Sync before a checked Close.
+func WriteMeta(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() // want durability
+		return err
+	}
+	f.Sync() // want durability
+	return f.Close()
+}
+
+// DeferDrop mirrors the pre-fix cmd/bess-server shutdown: a bare deferred
+// Close whose error nobody sees.
+func DeferDrop(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want durability
+	_, err = f.Write([]byte("x"))
+	return err
+}
+
+// Shadowed overwrites the Sync error before anything reads it.
+func Shadowed(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = f.Sync() // want durability
+	err = f.Close()
+	return err
+}
+
+// ExplicitDiscard is the permitted form: a visible decision, not a bug.
+func ExplicitDiscard(f *os.File) {
+	_ = f.Close()
+}
+
+// Checked is the good path: every result handled.
+func Checked(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,50 @@
+// Package guarded reproduces the annotated-field bugs: the registry shape
+// of server.Server with accesses that skip the mutex or write under RLock.
+package guarded
+
+import "sync"
+
+// Server mirrors the bess server's registry locking.
+type Server struct {
+	mu      sync.RWMutex
+	areas   map[uint32]int    // guarded by mu
+	clients map[uint32]string // guarded by mu
+}
+
+// New exercises the constructor exemption: the value is not published yet.
+func New() *Server {
+	s := &Server{areas: map[uint32]int{}, clients: map[uint32]string{}}
+	s.areas[0] = 1
+	return s
+}
+
+// LookupOK holds the read lock.
+func (s *Server) LookupOK(id uint32) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.areas[id]
+}
+
+// LookupBad reads the table with no lock at all.
+func (s *Server) LookupBad(id uint32) int {
+	return s.areas[id] // want guarded
+}
+
+// AddUnderRLock mutates under the shared lock.
+func (s *Server) AddUnderRLock(id uint32, v int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.areas[id] = v // want guarded
+}
+
+// RegisterBad writes the client registry with no lock.
+func (s *Server) RegisterBad(id uint32, name string) {
+	s.clients[id] = name // want guarded
+}
+
+// DeleteOK holds the write lock across a map delete.
+func (s *Server) DeleteOK(id uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.areas, id)
+}

@@ -1,0 +1,73 @@
+// Package lockorder reproduces hierarchy violations against a declared
+// lock order, including one only visible through the call graph.
+//
+//bess:lockorder Reg.tableMu < Reg.copyMu < Journal.mu
+package lockorder
+
+import "sync"
+
+// Journal is the innermost lock holder (like wal.Log).
+type Journal struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Append takes the journal lock.
+func (j *Journal) Append() {
+	j.mu.Lock()
+	j.n++
+	j.mu.Unlock()
+}
+
+// Reg mirrors the server's striped registry locks.
+type Reg struct {
+	tableMu sync.Mutex
+	copyMu  sync.Mutex
+	j       Journal
+}
+
+// InOrder nests along the declared direction: fine.
+func (r *Reg) InOrder() {
+	r.tableMu.Lock()
+	r.copyMu.Lock()
+	r.j.Append()
+	r.copyMu.Unlock()
+	r.tableMu.Unlock()
+}
+
+// Inverted acquires the outer lock while holding the inner one.
+func (r *Reg) Inverted() {
+	r.copyMu.Lock()
+	r.tableMu.Lock() // want lockorder
+	r.tableMu.Unlock()
+	r.copyMu.Unlock()
+}
+
+// Recursive deadlocks on itself.
+func (r *Reg) Recursive() {
+	r.tableMu.Lock()
+	r.tableMu.Lock() // want lockorder
+	r.tableMu.Unlock()
+	r.tableMu.Unlock()
+}
+
+// CallsUp holds the innermost lock and calls into a function that takes an
+// outer one — the inversion is only visible interprocedurally.
+func (r *Reg) CallsUp() {
+	r.j.mu.Lock()
+	r.lockTable() // want lockorder
+	r.j.mu.Unlock()
+}
+
+func (r *Reg) lockTable() {
+	r.tableMu.Lock()
+	r.tableMu.Unlock()
+}
+
+// Sequential acquisition (release before the next) is always legal.
+func (r *Reg) Sequential() {
+	r.copyMu.Lock()
+	r.copyMu.Unlock()
+	r.tableMu.Lock()
+	r.tableMu.Unlock()
+}

@@ -152,7 +152,9 @@ func CreateFile(path string, id page.AreaID, initialExtents int) (*Area, error) 
 	}
 	a, err := initArea(fileStore{f}, id, initialExtents, true)
 	if err != nil {
-		f.Close()
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		os.Remove(path)
 		return nil, err
 	}
@@ -168,7 +170,11 @@ func OpenFile(path string) (*Area, error) {
 	}
 	a, err := loadArea(fileStore{f}, true)
 	if err != nil {
-		f.Close()
+		// Keep err intact when the cleanup Close succeeds so callers can
+		// still compare against sentinels like ErrBadMagic.
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	return a, nil
@@ -518,8 +524,12 @@ func (a *Area) Close() error {
 	}
 	a.closed = true
 	a.mu.Unlock()
+	// Report the sync failure even when the close also fails: losing the
+	// sync error would hide that buffered pages may not have hit the disk.
 	if err := a.st.Sync(); err != nil {
-		a.st.Close()
+		if cerr := a.st.Close(); cerr != nil {
+			return errors.Join(err, cerr)
+		}
 		return err
 	}
 	return a.st.Close()

@@ -141,7 +141,7 @@ func (e *E1Env) ChaseGlobal(hops int) {
 // Close releases the environment.
 func (e *E1Env) Close() {
 	_ = e.db.Abort()
-	e.srv.Close()
+	must(e.srv.Close())
 }
 
 // --- E2: operation modes — copy-on-access vs shared memory ---
@@ -211,7 +211,7 @@ func (e *E2Env) ShortTxCopy(k int) {
 }
 
 // Close releases the environment.
-func (e *E2Env) Close() { e.srv.Close() }
+func (e *E2Env) Close() { must(e.srv.Close()) }
 
 // --- E3: reservation greediness — lazy waves vs eager ---
 
@@ -230,7 +230,7 @@ type E3Result struct {
 // a fraction of them.
 func RunE3(segs int, fraction float64) E3Result {
 	srv := server.NewMem(1)
-	defer srv.Close()
+	defer func() { must(srv.Close()) }()
 	db, err := core.OpenDatabase(srv, "e3", "db", true)
 	must(err)
 	td, err := db.RegisterType(nodeDesc)
@@ -469,7 +469,7 @@ type E6Result struct {
 // dropped at end of transaction (the no-inter-tx-caching baseline).
 func RunE6(txns, k int) E6Result {
 	srv := server.NewMem(1)
-	defer srv.Close()
+	defer func() { must(srv.Close()) }()
 	db, err := core.OpenDatabase(srv, "e6", "db", true)
 	must(err)
 	td, err := db.RegisterType(nodeDesc)
@@ -528,7 +528,7 @@ type E7Result struct {
 // conservatively lock on every pointer pass.
 func RunE7(r, w int) E7Result {
 	srv := server.NewMem(1)
-	defer srv.Close()
+	defer func() { must(srv.Close()) }()
 	db, err := core.OpenDatabase(srv, "e7", "db", true)
 	must(err)
 	td, err := db.RegisterType(nodeDesc)
@@ -731,7 +731,7 @@ func (e *E9Env) Scan(workers int) int {
 }
 
 // Close releases the environment.
-func (e *E9Env) Close() { e.srv.Close() }
+func (e *E9Env) Close() { must(e.srv.Close()) }
 
 // --- E10: buddy allocation ---
 

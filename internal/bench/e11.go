@@ -37,7 +37,7 @@ func RunE11(clients, commitsPerClient int) E11Result {
 	defer os.RemoveAll(dir)
 	srv, err := server.Open(dir, 1)
 	must(err)
-	defer srv.Close()
+	defer func() { must(srv.Close()) }()
 	db, _, err := srv.OpenDB("e11", true)
 	must(err)
 

@@ -56,12 +56,14 @@ type Stats struct {
 // Pool is the shared cache: a fixed array of page-size slots plus the
 // level-2 clock. Safe for concurrent use.
 type Pool struct {
-	mu     sync.Mutex
-	data   []byte // nslots * page.Size, one contiguous arena (Figure 3)
-	slots  []Slot
-	lookup map[page.ID]int
-	hand   int
-	stats  Stats
+	mu sync.Mutex
+	// data is deliberately unguarded: SlotData hands out slices into the
+	// arena and pin counts, not mu, keep concurrent users apart.
+	data   []byte          // nslots * page.Size, one contiguous arena (Figure 3)
+	slots  []Slot          // guarded by mu
+	lookup map[page.ID]int // guarded by mu
+	hand   int             // guarded by mu
+	stats  Stats           // guarded by mu
 }
 
 // NewPool creates a pool of nslots page frames.
@@ -77,7 +79,11 @@ func NewPool(nslots int) *Pool {
 }
 
 // Cap returns the number of slots.
-func (p *Pool) Cap() int { return len(p.slots) }
+func (p *Pool) Cap() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.slots)
+}
 
 // SlotData returns the backing bytes of slot i. The slice aliases the cache
 // arena; processes map it into their address spaces.
@@ -140,6 +146,8 @@ func (p *Pool) Acquire(id page.ID) (slot int, hit bool, ev *Evicted, err error) 
 
 // victimLocked runs the level-2 clock: sweep slots, replace one with
 // counter zero and no pins. Invalid slots are taken immediately.
+//
+//bess:holds mu
 func (p *Pool) victimLocked() (int, *Evicted, error) {
 	n := len(p.slots)
 	for step := 0; step < 2*n; step++ {

@@ -47,18 +47,18 @@ type Session struct {
 	mapper *swizzle.Mapper
 	det    *detect.Detector
 
-	txID         uint64
-	inTx         bool
-	xLocked      map[proto.SegKey]bool
-	touched      map[proto.SegKey]bool
-	dirtySlotted map[proto.SegKey]bool
+	txID         uint64                // guarded by mu
+	inTx         bool                  // guarded by mu
+	xLocked      map[proto.SegKey]bool // guarded by mu
+	touched      map[proto.SegKey]bool // guarded by mu
+	dirtySlotted map[proto.SegKey]bool // guarded by mu
 	// pendingDrops holds callback revocations accepted between
 	// transactions; the application thread applies them at the next Begin
 	// (the mapper is single-threaded by design, so the RPC goroutine never
 	// touches it).
-	pendingDrops map[proto.SegKey]bool
+	pendingDrops map[proto.SegKey]bool // guarded by mu
 
-	stats Stats
+	stats Stats // guarded by mu
 }
 
 // Open connects a session to database dbName through conn (a direct
@@ -548,6 +548,8 @@ func (s *Session) Deref(ref vmem.Addr) (*swizzle.Object, error) {
 // markTouchedLocked records the first use of a segment in this transaction;
 // a use served entirely from the inter-transaction cache is a "local grant"
 // (no server interaction), the quantity E6 reports. Callers hold s.mu.
+//
+//bess:holds mu
 func (s *Session) markTouchedLocked(key proto.SegKey) {
 	if !s.touched[key] {
 		s.touched[key] = true

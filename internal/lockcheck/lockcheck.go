@@ -1,0 +1,23 @@
+// Package lockcheck provides drop-in replacements for sync.Mutex and
+// sync.RWMutex that, when built with the `lockcheck` tag, validate the
+// declared lock hierarchy at runtime: every goroutine's held-lock set is
+// tracked, and acquiring a lock whose rank is not strictly greater than
+// every ranked lock already held panics with both acquisition sites.
+// Recursive acquisition of the same instance — including the subtle
+// recursive-RLock case, which deadlocks against a queued writer — also
+// panics.
+//
+// Without the tag the wrappers are zero-cost passthroughs: the sync
+// primitive is embedded, Init is an empty function, and no per-goroutine
+// state exists.
+//
+// Ranks mirror the static declaration parsed by cmd/bess-vet (see
+// internal/server/lockorder.go): lower rank = acquired earlier (outermost).
+// Rank 0 means unranked — the lock participates in recursion detection but
+// not in ordering checks.
+package lockcheck
+
+// Rank is a lock's position in the declared hierarchy. A goroutine may only
+// acquire a lock whose rank is strictly greater than the rank of every
+// ranked lock it already holds. Rank 0 is unranked.
+type Rank int

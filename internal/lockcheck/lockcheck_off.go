@@ -1,0 +1,26 @@
+//go:build !lockcheck
+
+package lockcheck
+
+import "sync"
+
+// Enabled reports whether runtime lock-order checking is compiled in.
+const Enabled = false
+
+// Mutex is sync.Mutex when the lockcheck tag is absent. Lock, TryLock, and
+// Unlock are promoted from the embedded primitive, so there is no wrapper
+// overhead at all.
+type Mutex struct {
+	sync.Mutex
+}
+
+// Init names the lock and assigns its hierarchy rank. No-op in this build.
+func (m *Mutex) Init(name string, rank Rank) {}
+
+// RWMutex is sync.RWMutex when the lockcheck tag is absent.
+type RWMutex struct {
+	sync.RWMutex
+}
+
+// Init names the lock and assigns its hierarchy rank. No-op in this build.
+func (m *RWMutex) Init(name string, rank Rank) {}

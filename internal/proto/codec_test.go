@@ -1,0 +1,51 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestSegImageRoundtrip(t *testing.T) {
+	imgs := []*SegImage{
+		{Seg: SegKey{Area: 1, Start: 0}},
+		{Seg: SegKey{Area: 9, Start: -4096}, Slotted: []byte("s"), Overflow: []byte("ov"), Data: []byte("data")},
+		{Seg: SegKey{Area: 0xFFFFFFFF, Start: 1 << 40}, Data: make([]byte, 4096)},
+	}
+	for _, in := range imgs {
+		out, err := DecodeSegImage(EncodeSegImage(in))
+		if err != nil {
+			t.Fatalf("decode(%+v): %v", in.Seg, err)
+		}
+		if !imagesEqual(in, out) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", in, out)
+		}
+	}
+}
+
+func TestSegImageDecodeRejects(t *testing.T) {
+	valid := EncodeSegImage(&SegImage{Seg: SegKey{Area: 2, Start: 8}, Data: []byte("abc")})
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] ^= 0xFF
+	badVersion := append([]byte(nil), valid...)
+	badVersion[2] = 99
+	trailing := append(append([]byte(nil), valid...), 0)
+	oversized := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(oversized[15+4+4:], 1<<30) // Data length > remaining
+
+	cases := map[string][]byte{
+		"empty":       nil,
+		"short":       valid[:10],
+		"bad magic":   badMagic,
+		"bad version": badVersion,
+		"truncated":   valid[:len(valid)-1],
+		"trailing":    trailing,
+		"oversized":   oversized,
+	}
+	for name, b := range cases {
+		if _, err := DecodeSegImage(b); !errors.Is(err, ErrBadImage) {
+			t.Errorf("%s: err = %v, want ErrBadImage", name, err)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+func sameBytes(a, b []byte) bool { return bytes.Equal(a, b) } // nil == empty
+
+func imagesEqual(a, b *SegImage) bool {
+	return a.Seg == b.Seg &&
+		sameBytes(a.Slotted, b.Slotted) &&
+		sameBytes(a.Overflow, b.Overflow) &&
+		sameBytes(a.Data, b.Data)
+}
+
+// FuzzProtoDecode drives the SegImage codec with arbitrary bytes. Two
+// properties: DecodeSegImage never panics and, when it succeeds, the image
+// re-encodes to the identical wire bytes (the encoding is canonical); and
+// any image built from the input roundtrips decode(encode(x)) == x.
+func FuzzProtoDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a segment image"))
+	f.Add(EncodeSegImage(&SegImage{Seg: SegKey{Area: 1, Start: 42}}))
+	f.Add(EncodeSegImage(&SegImage{
+		Seg:      SegKey{Area: 3, Start: -9},
+		Slotted:  []byte("slotted bytes"),
+		Overflow: []byte("o"),
+		Data:     bytes.Repeat([]byte{0xAB}, 300),
+	}))
+	// Truncated section length and oversized section length.
+	valid := EncodeSegImage(&SegImage{Seg: SegKey{Area: 7, Start: 1}, Data: []byte("xyz")})
+	f.Add(valid[:len(valid)-2])
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		if s, err := DecodeSegImage(wire); err == nil {
+			enc := EncodeSegImage(s)
+			if !bytes.Equal(enc, wire) {
+				t.Fatalf("decode accepted a non-canonical encoding:\n in: %x\nout: %x", wire, enc)
+			}
+			s2, err := DecodeSegImage(enc)
+			if err != nil {
+				t.Fatalf("re-decode of canonical bytes failed: %v", err)
+			}
+			if !imagesEqual(s, s2) {
+				t.Fatalf("re-decode mismatch: %+v vs %+v", s, s2)
+			}
+		}
+		// Structured roundtrip: carve an image out of the raw input.
+		n := len(wire)
+		x := &SegImage{
+			Seg:      SegKey{Area: uint32(n), Start: int64(n)*7 - 3},
+			Slotted:  wire[:n/3],
+			Overflow: wire[n/3 : 2*n/3],
+			Data:     wire[2*n/3:],
+		}
+		got, err := DecodeSegImage(EncodeSegImage(x))
+		if err != nil {
+			t.Fatalf("roundtrip decode failed: %v", err)
+		}
+		if !imagesEqual(x, got) {
+			t.Fatalf("roundtrip mismatch: %+v vs %+v", x, got)
+		}
+	})
+}

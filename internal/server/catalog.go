@@ -2,12 +2,13 @@ package server
 
 import (
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
-	"sync"
 
+	"bess/internal/lockcheck"
 	"bess/internal/names"
 	"bess/internal/proto"
 )
@@ -36,30 +37,36 @@ type dbMeta struct {
 // written through to disk (when file-backed) before any dependent data is
 // used.
 type catalog struct {
-	mu     sync.Mutex
+	mu     lockcheck.Mutex
 	path   string // "" = memory only
-	NextDB uint32
+	NextDB uint32 // guarded by mu
 	// NextArea is global: area ids are unique per server.
-	NextArea uint32
-	DBs      map[string]*dbMeta
-	ByID     map[uint32]*dbMeta
+	NextArea uint32             // guarded by mu
+	DBs      map[string]*dbMeta // guarded by mu
+	ByID     map[uint32]*dbMeta // guarded by mu
 
 	// decoded name directories, lazily materialized from NamesEnc
-	dirs map[uint32]*names.Directory
+	dirs map[uint32]*names.Directory // guarded by mu
 }
 
 func newCatalog(path string) *catalog {
-	return &catalog{
+	c := &catalog{
 		path:   path,
 		NextDB: 1, NextArea: 1,
 		DBs:  make(map[string]*dbMeta),
 		ByID: make(map[uint32]*dbMeta),
 		dirs: make(map[uint32]*names.Directory),
 	}
+	c.mu.Init("catalog.mu", rankCatalog)
+	return c
 }
 
-func loadCatalog(path string) (*catalog, error) {
-	c := newCatalog(path)
+// loadCatalog reads the catalog from path. The returned value is not yet
+// shared, so fields are touched without c.mu.
+//
+//bess:prepublish
+func loadCatalog(path string) (c *catalog, err error) {
+	c = newCatalog(path)
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return c, nil
@@ -67,7 +74,7 @@ func loadCatalog(path string) (*catalog, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer func() { err = errors.Join(err, f.Close()) }()
 	if err := gob.NewDecoder(f).Decode(c); err != nil {
 		return nil, fmt.Errorf("server: load catalog: %w", err)
 	}
@@ -91,6 +98,8 @@ func loadCatalog(path string) (*catalog, error) {
 }
 
 // persistLocked writes the catalog through to disk. Called with c.mu held.
+//
+//bess:holds mu
 func (c *catalog) persistLocked() error {
 	// Serialize live directories back into their blobs first.
 	for id, d := range c.dirs {
@@ -109,12 +118,12 @@ func (c *catalog) persistLocked() error {
 		return err
 	}
 	if err := gob.NewEncoder(f).Encode(c); err != nil {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		err = errors.Join(err, f.Close())
 		os.Remove(tmp)
 		return err
 	}
@@ -279,6 +288,17 @@ func (c *catalog) persistNames() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.persistLocked()
+}
+
+// areaIDs lists every attached area id across databases (startup).
+func (c *catalog) areaIDs() []uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []uint32
+	for _, m := range c.ByID {
+		out = append(out, m.Areas...)
+	}
+	return out
 }
 
 // catalogPath computes the catalog file path for a server directory.

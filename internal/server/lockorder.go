@@ -1,0 +1,37 @@
+// Lock hierarchy of the BeSS server.
+//
+// This file is the single authoritative declaration of the order in which
+// the server-side locks may nest. The directive below is machine-readable:
+// cmd/bess-vet parses it and statically rejects any function whose call
+// graph acquires these locks in a violating nested order, and the rank
+// constants feed the same order to the runtime checker
+// (internal/lockcheck, active under the `lockcheck` build tag).
+//
+// Names are unqualified Type.field pairs; "a < b" means a goroutine holding
+// a may acquire b, never the reverse. Locks of equal rank (the 32 tx table
+// shards all share txShard.mu) must not nest at all. Locks not named here
+// (area.Area.mu, the lock manager's internals, client-side session locks)
+// are unranked: they carry no ordering constraints but are still checked
+// for recursive acquisition at runtime.
+//
+// The hot paths rely on these locks never actually nesting (each is
+// released before the next is taken — see Server's doc comment); the
+// hierarchy exists so that any future nesting some PR introduces is forced
+// into one deadlock-free direction and mechanically verified.
+//
+//bess:lockorder Server.areaMu < Server.clientMu < Server.copyMu < txShard.mu < catalog.mu < Log.mu
+package server
+
+import "bess/internal/lockcheck"
+
+// Runtime ranks mirroring the //bess:lockorder directive above. Lower rank
+// = acquired earlier (outermost). Log.mu's rank lives in the wal package
+// (wal.RankLogMu) because wal cannot import server; bess-vet's self-test
+// keeps the two files consistent with the directive.
+const (
+	rankAreaMu   lockcheck.Rank = 10
+	rankClientMu lockcheck.Rank = 20
+	rankCopyMu   lockcheck.Rank = 30
+	rankTxShard  lockcheck.Rank = 40
+	rankCatalog  lockcheck.Rank = 50
+)

@@ -16,13 +16,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"bess/internal/area"
 	"bess/internal/hooks"
 	"bess/internal/lock"
+	"bess/internal/lockcheck"
 	"bess/internal/oid"
 	"bess/internal/page"
 	"bess/internal/proto"
@@ -79,20 +79,22 @@ type Stats struct {
 // different clients do not contend on one server-wide mutex: areaMu guards
 // the area table (read-mostly), clientMu the client registry, copyMu the
 // cached-copy table, and the active-transaction map is the sharded txs
-// table. None of these locks is ever held while acquiring another.
+// table. None of these locks is ever held while acquiring another; the
+// permitted nesting order, should one ever be introduced, is declared in
+// lockorder.go and enforced by cmd/bess-vet and `-tags lockcheck` builds.
 type Server struct {
 	host uint16
 	dir  string // "" = in-memory
 
-	areaMu sync.RWMutex
-	areas  map[uint32]*area.Area
+	areaMu lockcheck.RWMutex
+	areas  map[uint32]*area.Area // guarded by areaMu
 
-	clientMu   sync.Mutex
-	clients    map[uint32]*clientHandle
-	nextClient uint32
+	clientMu   lockcheck.Mutex
+	clients    map[uint32]*clientHandle // guarded by clientMu
+	nextClient uint32                   // guarded by clientMu
 
-	copyMu sync.Mutex
-	copies map[proto.SegKey]map[uint32]bool
+	copyMu lockcheck.Mutex
+	copies map[proto.SegKey]map[uint32]bool // guarded by copyMu
 
 	txs txTable
 
@@ -145,6 +147,9 @@ func open(dir string, host uint16) (*Server, error) {
 		hk:              hooks.NewRegistry(),
 		CallbackTimeout: 2 * time.Second,
 	}
+	s.areaMu.Init("Server.areaMu", rankAreaMu)
+	s.clientMu.Init("Server.clientMu", rankClientMu)
+	s.copyMu.Init("Server.copyMu", rankCopyMu)
 	s.txs.init()
 	s.locks.DefaultTimeout = 5 * time.Second
 	var err error
@@ -161,14 +166,12 @@ func open(dir string, host uint16) (*Server, error) {
 			return nil, err
 		}
 		// Open every known area.
-		for _, m := range s.cat.ByID {
-			for _, aid := range m.Areas {
-				a, err := area.OpenFile(s.areaPath(aid))
-				if err != nil {
-					return nil, fmt.Errorf("server: open area %d: %w", aid, err)
-				}
-				s.areas[aid] = a
+		for _, aid := range s.cat.areaIDs() {
+			a, err := area.OpenFile(s.areaPath(aid))
+			if err != nil {
+				return nil, fmt.Errorf("server: open area %d: %w", aid, err)
 			}
+			s.areas[aid] = a
 		}
 		// Restart: repeat history, roll back losers; in-doubt 2PC branches
 		// are adopted below so the coordinator's decision can complete them.

@@ -1,8 +1,7 @@
 package server
 
 import (
-	"sync"
-
+	"bess/internal/lockcheck"
 	"bess/internal/tx"
 )
 
@@ -18,8 +17,8 @@ type txTable struct {
 }
 
 type txShard struct {
-	mu sync.Mutex
-	m  map[uint64]txEntry
+	mu lockcheck.Mutex
+	m  map[uint64]txEntry // guarded by mu
 }
 
 type txEntry struct {
@@ -27,8 +26,10 @@ type txEntry struct {
 	owner uint32
 }
 
+//bess:prepublish
 func (tt *txTable) init() {
 	for i := range tt.shards {
+		tt.shards[i].mu.Init("txShard.mu", rankTxShard)
 		tt.shards[i].m = make(map[uint64]txEntry)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sync"
 
+	"bess/internal/lockcheck"
 	"bess/internal/page"
 )
 
@@ -307,25 +308,31 @@ func (b *memBacking) Size() int64 {
 	return int64(len(b.buf))
 }
 
+// RankLogMu is Log.mu's position in the server lock hierarchy declared in
+// internal/server/lockorder.go (the innermost rank: commit paths may reach
+// the log while holding a tx shard, never the reverse). The constant lives
+// here because wal cannot import server.
+const RankLogMu lockcheck.Rank = 60
+
 // Log is an append-only write-ahead log with group commit. Safe for
 // concurrent use: committers that arrive while a sync is in flight park on
 // a condition variable and are woken when the leader's sync covers their
 // LSN, so N concurrent commits share ~1 fsync.
 type Log struct {
-	mu       sync.Mutex
+	mu       lockcheck.Mutex
 	syncDone sync.Cond // broadcast at the end of every sync round
 	back     backing
-	tail     []byte   // buffered bytes not yet handed to a sync round
-	tailAt   page.LSN // byte offset of tail[0]
-	nextLSN  page.LSN // LSN of the next record to append
-	flushed  page.LSN // all bytes below this are durable
-	syncing  bool     // a leader is writing+syncing outside the lock
-	closed   bool
+	tail     []byte   // guarded by mu; buffered bytes not yet handed to a sync round
+	tailAt   page.LSN // guarded by mu; byte offset of tail[0]
+	nextLSN  page.LSN // guarded by mu; LSN of the next record to append
+	flushed  page.LSN // guarded by mu; all bytes below this are durable
+	syncing  bool     // guarded by mu; a leader is writing+syncing outside the lock
+	closed   bool     // guarded by mu
 
-	appends int64
-	flushes int64
-	syncs   int64
-	grouped int64
+	appends int64 // guarded by mu
+	flushes int64 // guarded by mu
+	syncs   int64 // guarded by mu
+	grouped int64 // guarded by mu
 }
 
 // LogStats are cumulative log counters. Under group commit Syncs stays far
@@ -353,7 +360,10 @@ func OpenFile(path string) (*Log, error) {
 	}
 	l := &Log{back: fileBacking{f}}
 	if err := l.init(); err != nil {
-		f.Close()
+		// Preserve err's identity when the cleanup Close succeeds.
+		if cerr := f.Close(); cerr != nil {
+			err = errors.Join(err, cerr)
+		}
 		return nil, err
 	}
 	return l, nil
@@ -378,7 +388,11 @@ func OpenMemFrom(img []byte) (*Log, error) {
 	return l, nil
 }
 
+// init finishes constructing a Log that no other goroutine can see yet.
+//
+//bess:prepublish
 func (l *Log) init() error {
+	l.mu.Init("Log.mu", RankLogMu)
 	l.syncDone.L = &l.mu
 	size := l.back.Size()
 	if size == 0 {
@@ -451,6 +465,8 @@ func (l *Log) Flush(upTo page.LSN) error {
 // target converts Flush's inclusive record LSN into the exclusive byte
 // offset the log must be durable through. The durable frontier only moves
 // in whole records, so upTo+1 covers the record starting at upTo.
+//
+//bess:holds mu
 func (l *Log) target(upTo page.LSN) page.LSN {
 	if upTo == 0 || upTo >= l.nextLSN {
 		return l.nextLSN
@@ -459,7 +475,10 @@ func (l *Log) target(upTo page.LSN) page.LSN {
 }
 
 // flushTo blocks until the log is durable through target. Called with l.mu
-// held; returns with it held.
+// held; returns with it held (the lock is dropped around the physical
+// write+sync so appenders keep making progress).
+//
+//bess:holds mu
 func (l *Log) flushTo(target page.LSN) error {
 	waited := false
 	for {
