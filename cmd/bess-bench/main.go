@@ -64,6 +64,9 @@ func main() {
 	if want("E11") {
 		e11(*quick, *jsonOut)
 	}
+	if want("E12") {
+		e12(*quick, *jsonOut)
+	}
 }
 
 // writeJSON writes v as indented JSON to BENCH_<name>.json.
@@ -270,5 +273,31 @@ func e11(quick bool, jsonOut bool) {
 	}
 	if jsonOut {
 		writeJSON("E11", results)
+	}
+}
+
+func e12(quick bool, jsonOut bool) {
+	header("E12", "wire protocol — binary framed + coalesced vs double-gob (§3)")
+	callsPer, fetches, payload := 2000, 200, 512<<10
+	if quick {
+		callsPer, fetches, payload = 200, 20, 128<<10
+	}
+	var report bench.E12Report
+	fmt.Printf("small concurrent calls (one shared connection):\n")
+	for _, mode := range []string{"gob", "binary"} {
+		for _, conc := range []int{1, 2, 4, 8, 16} {
+			r := bench.RunE12(mode, conc, callsPer)
+			report.SmallCalls = append(report.SmallCalls, r)
+			fmt.Printf("  %s\n", bench.FormatE12(r))
+		}
+	}
+	fmt.Printf("segment-fetch bandwidth (sequential round trips):\n")
+	for _, mode := range []string{"gob", "binary"} {
+		r := bench.RunE12Fetch(mode, fetches, payload)
+		report.SegmentFetch = append(report.SegmentFetch, r)
+		fmt.Printf("  %s\n", bench.FormatE12Fetch(r))
+	}
+	if jsonOut {
+		writeJSON("E12", report)
 	}
 }

@@ -692,6 +692,12 @@ func (d delayConn) FetchData(c uint32, seg proto.SegKey) ([]byte, error) {
 	return d.Conn.FetchData(c, seg)
 }
 
+func (d delayConn) FetchSeg(c uint32, seg proto.SegKey) ([]byte, []byte, []byte, error) {
+	// One combined fetch is still one disk visit.
+	time.Sleep(DiskDelay)
+	return d.Conn.FetchSeg(c, seg)
+}
+
 // E9Env is a populated multifile ready for scan sweeps.
 type E9Env struct {
 	srv  *server.Server

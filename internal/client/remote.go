@@ -7,6 +7,7 @@ package client
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"bess/internal/oid"
 	"bess/internal/proto"
@@ -14,12 +15,14 @@ import (
 )
 
 // Remote implements proto.Conn over an RPC peer; one per server connection.
+// The hot methods encode their bodies with the binary codecs in
+// internal/proto via CallRaw; cold methods go through the gob fallback.
 type Remote struct {
-	p *rpc.Peer
+	p     *rpc.Peer
+	calls atomic.Int64 // message count (E6); off the mutex so calls don't serialize
 
 	mu         sync.Mutex
-	onCallback func(proto.SegKey) bool // returns refused
-	calls      int64
+	onCallback func(proto.SegKey) bool // returns refused; guarded by mu
 }
 
 // NewRemote wraps a connected peer. The "Callback" handler is registered
@@ -27,14 +30,19 @@ type Remote struct {
 // refused until a session installs its policy.
 func NewRemote(p *rpc.Peer) *Remote {
 	r := &Remote{p: p}
-	rpc.HandleFunc(p, "Callback", func(a *proto.CallbackArgs) (*proto.CallbackReply, error) {
+	p.Handle("Callback", func(body []byte) ([]byte, error) {
+		seg, err := proto.DecodeCallbackArgs(body)
+		if err != nil {
+			return nil, err
+		}
 		r.mu.Lock()
 		cb := r.onCallback
 		r.mu.Unlock()
-		if cb == nil {
-			return &proto.CallbackReply{Refused: true}, nil
+		refused := true
+		if cb != nil {
+			refused = cb(seg)
 		}
-		return &proto.CallbackReply{Refused: cb(a.Seg)}, nil
+		return proto.AppendCallbackReply(nil, refused), nil
 	})
 	return r
 }
@@ -47,17 +55,16 @@ func (r *Remote) SetCallback(fn func(proto.SegKey) bool) {
 }
 
 // Calls reports the number of RPCs issued (message counting for E6).
-func (r *Remote) Calls() int64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.calls
-}
+func (r *Remote) Calls() int64 { return r.calls.Load() }
 
 func (r *Remote) call(method string, args, reply any) error {
-	r.mu.Lock()
-	r.calls++
-	r.mu.Unlock()
+	r.calls.Add(1)
 	return r.p.Call(method, args, reply)
+}
+
+func (r *Remote) callRaw(method string, body []byte) ([]byte, error) {
+	r.calls.Add(1)
+	return r.p.CallRaw(method, body)
 }
 
 // Hello implements proto.Conn.
@@ -141,23 +148,35 @@ func (r *Remote) SegInfo(seg proto.SegKey) (int, error) {
 
 // FetchSlotted implements proto.Conn.
 func (r *Remote) FetchSlotted(client uint32, seg proto.SegKey) ([]byte, []byte, error) {
-	var rep proto.FetchSlottedReply
-	err := r.call("FetchSlotted", &proto.FetchSlottedArgs{Client: client, Seg: seg}, &rep)
-	return rep.Slotted, rep.Overflow, err
+	rb, err := r.callRaw("FetchSlotted", proto.AppendFetchArgs(nil, client, seg))
+	if err != nil {
+		return nil, nil, err
+	}
+	return proto.DecodeFetchSlottedReply(rb)
 }
 
 // FetchData implements proto.Conn.
 func (r *Remote) FetchData(client uint32, seg proto.SegKey) ([]byte, error) {
-	var rep proto.FetchDataReply
-	err := r.call("FetchData", &proto.FetchDataArgs{Client: client, Seg: seg}, &rep)
-	return rep.Data, err
+	return r.callRaw("FetchData", proto.AppendFetchArgs(nil, client, seg))
+}
+
+// FetchSeg implements proto.Conn: slotted + overflow + data in one round
+// trip (the reply body is one SegImage encoding).
+func (r *Remote) FetchSeg(client uint32, seg proto.SegKey) ([]byte, []byte, []byte, error) {
+	rb, err := r.callRaw("FetchSeg", proto.AppendFetchArgs(nil, client, seg))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	img, err := proto.DecodeSegImage(rb)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return img.Slotted, img.Overflow, img.Data, nil
 }
 
 // FetchLarge implements proto.Conn.
 func (r *Remote) FetchLarge(client uint32, seg proto.SegKey, slot int) ([]byte, error) {
-	var rep proto.FetchLargeReply
-	err := r.call("FetchLarge", &proto.FetchLargeArgs{Client: client, Seg: seg, Slot: slot}, &rep)
-	return rep.Data, err
+	return r.callRaw("FetchLarge", proto.AppendFetchLargeArgs(nil, client, seg, slot))
 }
 
 // Resolve implements proto.Conn.
@@ -169,19 +188,20 @@ func (r *Remote) Resolve(db uint32, headerOff uint64) (proto.SegKey, int, error)
 
 // Lock implements proto.Conn.
 func (r *Remote) Lock(client uint32, tx uint64, seg proto.SegKey, mode proto.LockMode) error {
-	return r.call("Lock", &proto.LockArgs{Client: client, Tx: tx, Seg: seg, Mode: mode}, &proto.Empty{})
+	_, err := r.callRaw("Lock", proto.AppendLockArgs(nil, client, tx, seg, mode))
+	return err
 }
 
 // LockObject implements proto.Conn.
 func (r *Remote) LockObject(client uint32, tx uint64, seg proto.SegKey, slot int, mode proto.LockMode) error {
-	return r.call("LockObject", &proto.LockObjectArgs{
-		Client: client, Tx: tx, Seg: seg, Slot: slot, Mode: mode,
-	}, &proto.Empty{})
+	_, err := r.callRaw("LockObject", proto.AppendLockObjectArgs(nil, client, tx, seg, slot, mode))
+	return err
 }
 
 // Commit implements proto.Conn.
 func (r *Remote) Commit(client uint32, tx uint64, segs []proto.SegImage) error {
-	return r.call("Commit", &proto.CommitArgs{Client: client, Tx: tx, Segs: segs}, &proto.Empty{})
+	_, err := r.callRaw("Commit", proto.AppendCommitArgs(nil, client, tx, segs))
+	return err
 }
 
 // Abort implements proto.Conn.

@@ -45,6 +45,7 @@ type Session struct {
 	types  *segment.Registry
 	space  *vmem.Space
 	mapper *swizzle.Mapper
+	fetch  *fetcher
 	det    *detect.Detector
 
 	txID         uint64                // guarded by mu
@@ -93,7 +94,8 @@ func Open(conn proto.Conn, name, dbName string, create bool) (*Session, error) {
 			return nil, err
 		}
 	}
-	s.mapper = swizzle.NewMapper(s.space, &fetcher{s: s}, s.types)
+	s.fetch = &fetcher{s: s}
+	s.mapper = swizzle.NewMapper(s.space, s.fetch, s.types)
 	s.det = detect.New(s.mapper, true)
 	s.det.SetAccessFunc(s.onAccess)
 	// Wire the revocation path. Remote connections route the server's
@@ -155,14 +157,24 @@ func (s *Session) RegisterType(td segment.TypeDesc) (*segment.TypeDesc, error) {
 
 // --- fetcher: the mapper's view of the connection ---
 
-type fetcher struct{ s *Session }
+// fetcher fetches with the combined FetchSeg RPC: the mapper always asks for
+// the slotted image first and the data image right after, so FetchSlotted
+// pulls all three images in one round trip and stashes the data bytes for
+// the FetchData that follows. The stash is invalidated whenever the cached
+// segment is dropped (Session.dropSeg) so a refetch never sees stale data.
+type fetcher struct {
+	s *Session
+
+	mu    sync.Mutex
+	stash map[swizzle.SegID][]byte // guarded by mu
+}
 
 func (f *fetcher) SlottedPages(id swizzle.SegID) (int, error) {
 	return f.s.conn.SegInfo(segKey(id))
 }
 
 func (f *fetcher) FetchSlotted(id swizzle.SegID) (*segment.Seg, error) {
-	sl, ov, err := f.s.conn.FetchSlotted(f.s.client, segKey(id))
+	sl, ov, data, err := f.s.conn.FetchSeg(f.s.client, segKey(id))
 	if err != nil {
 		return nil, err
 	}
@@ -171,11 +183,32 @@ func (f *fetcher) FetchSlotted(id swizzle.SegID) (*segment.Seg, error) {
 		return nil, err
 	}
 	dec.Overflow = ov
+	f.mu.Lock()
+	if f.stash == nil {
+		f.stash = make(map[swizzle.SegID][]byte)
+	}
+	f.stash[id] = data
+	f.mu.Unlock()
 	return dec, nil
 }
 
 func (f *fetcher) FetchData(id swizzle.SegID, _ *segment.Seg) ([]byte, error) {
+	f.mu.Lock()
+	data, ok := f.stash[id]
+	if ok {
+		delete(f.stash, id)
+	}
+	f.mu.Unlock()
+	if ok {
+		return data, nil
+	}
 	return f.s.conn.FetchData(f.s.client, segKey(id))
+}
+
+func (f *fetcher) dropStash(id swizzle.SegID) {
+	f.mu.Lock()
+	delete(f.stash, id)
+	f.mu.Unlock()
 }
 
 func (f *fetcher) FetchLarge(id swizzle.SegID, _ *segment.Seg, slot int) ([]byte, error) {
@@ -262,7 +295,14 @@ func (s *Session) drainDrop(key proto.SegKey) error {
 	if !pending {
 		return nil
 	}
-	return s.mapper.DropSeg(segID(key))
+	return s.dropSeg(segID(key))
+}
+
+// dropSeg drops a cached segment and the fetcher's stashed data image for
+// it, so a revoked or aborted copy can never satisfy the next fetch.
+func (s *Session) dropSeg(id swizzle.SegID) error {
+	s.fetch.dropStash(id)
+	return s.mapper.DropSeg(id)
 }
 
 // --- transactions ---
@@ -285,7 +325,7 @@ func (s *Session) Begin() error {
 	s.pendingDrops = make(map[proto.SegKey]bool)
 	s.mu.Unlock()
 	for key := range drops {
-		if err := s.mapper.DropSeg(segID(key)); err != nil {
+		if err := s.dropSeg(segID(key)); err != nil {
 			s.mu.Lock()
 			s.inTx = false
 			s.mu.Unlock()
@@ -469,7 +509,7 @@ func (s *Session) dropDirty() {
 	}
 	s.mu.Unlock()
 	for k := range dirty {
-		_ = s.mapper.DropSeg(segID(k))
+		_ = s.dropSeg(segID(k))
 		_ = s.conn.Released(s.client, k)
 	}
 }
@@ -756,7 +796,7 @@ func (s *Session) CreateLarge(seg proto.SegKey, typ segment.TypeID, content []by
 	s.touched[seg] = true
 	s.mu.Unlock()
 	// Refresh the cached copy so the new slot is visible.
-	if err := s.mapper.DropSeg(segID(seg)); err != nil {
+	if err := s.dropSeg(segID(seg)); err != nil {
 		return vmem.NilAddr, err
 	}
 	return s.mapper.AddrOfSlot(segID(seg), slot)
@@ -859,7 +899,7 @@ func (r *runStore) WriteRun(start page.No, data []byte) error {
 // behaviour).
 func (s *Session) DropAllCached() {
 	for _, id := range s.mapper.CachedSegs() {
-		_ = s.mapper.DropSeg(id)
+		_ = s.dropSeg(id)
 		_ = s.conn.Released(s.client, segKey(id))
 	}
 }

@@ -309,6 +309,31 @@ func (ns *NodeServer) FetchData(local uint32, seg proto.SegKey) ([]byte, error) 
 	return d, nil
 }
 
+// FetchSeg serves the combined fetch from the node cache when all three
+// images are present; otherwise one upstream FetchSeg fills the whole cache
+// entry (a cold touch through the node costs one upstream round trip).
+func (ns *NodeServer) FetchSeg(local uint32, seg proto.SegKey) ([]byte, []byte, []byte, error) {
+	ns.mu.Lock()
+	if img := ns.images[seg]; img != nil && img.data != nil {
+		ns.stats.hits++
+		ns.recordCopyLocked(seg, local)
+		sl, ov, d := img.slotted, img.overflow, img.data
+		ns.mu.Unlock()
+		return sl, ov, d, nil
+	}
+	ns.mu.Unlock()
+	sl, ov, d, err := ns.up.FetchSeg(ns.client, seg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ns.mu.Lock()
+	ns.stats.upstream++
+	ns.images[seg] = &cachedSeg{slotted: sl, overflow: ov, data: d}
+	ns.recordCopyLocked(seg, local)
+	ns.mu.Unlock()
+	return sl, ov, d, nil
+}
+
 // FetchLarge delegates upstream (large objects are not image-cached).
 func (ns *NodeServer) FetchLarge(local uint32, seg proto.SegKey, slot int) ([]byte, error) {
 	ns.mu.Lock()

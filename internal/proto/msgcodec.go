@@ -1,0 +1,248 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Per-message binary codecs for the hot RPC methods.
+//
+// The cold methods (schema churn, once-per-session) stay on gob; the methods
+// on a transaction's critical path — fetches, locks, commit, callback — get
+// hand-written Append…/Decode… pairs in the same style as the SegImage
+// codec: big-endian, length-prefixed variable sections, every length
+// bounds-checked before allocation, no trailing bytes, canonical (a
+// successful decode re-encodes to identical bytes). The Append… functions
+// extend a caller-owned slice so the rpc layer can build frames in pooled
+// buffers without intermediate allocations.
+//
+// Replies that are a single byte string (FetchData, FetchLarge) travel as
+// the raw frame body with no wrapper at all; FetchSeg's reply reuses the
+// SegImage codec.
+
+// ErrBadMessage reports bytes that are not a valid hot-method encoding.
+var ErrBadMessage = errors.New("proto: bad message encoding")
+
+func appendSegKey(b []byte, seg SegKey) []byte {
+	b = binary.BigEndian.AppendUint32(b, seg.Area)
+	return binary.BigEndian.AppendUint64(b, uint64(seg.Start))
+}
+
+func decodeSegKey(b []byte) (SegKey, []byte, error) {
+	if len(b) < 12 {
+		return SegKey{}, nil, fmt.Errorf("%w: truncated segment key", ErrBadMessage)
+	}
+	seg := SegKey{
+		Area:  binary.BigEndian.Uint32(b[0:4]),
+		Start: int64(binary.BigEndian.Uint64(b[4:12])),
+	}
+	return seg, b[12:], nil
+}
+
+func appendSection(b, sec []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(sec)))
+	return append(b, sec...)
+}
+
+func decodeSection(b []byte) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("%w: truncated section length", ErrBadMessage)
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	rest := b[4:]
+	if uint64(n) > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: section length %d exceeds %d remaining bytes", ErrBadMessage, n, len(rest))
+	}
+	if n == 0 {
+		return nil, rest, nil
+	}
+	return append([]byte(nil), rest[:n]...), rest[n:], nil
+}
+
+func wantDone(rest []byte) error {
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(rest))
+	}
+	return nil
+}
+
+// AppendFetchArgs encodes (client, seg) — the argument shape shared by
+// FetchSlotted, FetchData, and FetchSeg.
+func AppendFetchArgs(b []byte, client uint32, seg SegKey) []byte {
+	b = binary.BigEndian.AppendUint32(b, client)
+	return appendSegKey(b, seg)
+}
+
+// DecodeFetchArgs parses AppendFetchArgs bytes.
+func DecodeFetchArgs(b []byte) (client uint32, seg SegKey, err error) {
+	if len(b) < 4 {
+		return 0, SegKey{}, fmt.Errorf("%w: truncated client id", ErrBadMessage)
+	}
+	client = binary.BigEndian.Uint32(b[0:4])
+	seg, rest, err := decodeSegKey(b[4:])
+	if err != nil {
+		return 0, SegKey{}, err
+	}
+	return client, seg, wantDone(rest)
+}
+
+// AppendFetchLargeArgs encodes (client, seg, slot).
+func AppendFetchLargeArgs(b []byte, client uint32, seg SegKey, slot int) []byte {
+	b = AppendFetchArgs(b, client, seg)
+	return binary.BigEndian.AppendUint32(b, uint32(slot))
+}
+
+// DecodeFetchLargeArgs parses AppendFetchLargeArgs bytes.
+func DecodeFetchLargeArgs(b []byte) (client uint32, seg SegKey, slot int, err error) {
+	if len(b) < 4+12+4 {
+		return 0, SegKey{}, 0, fmt.Errorf("%w: truncated fetch-large args", ErrBadMessage)
+	}
+	client = binary.BigEndian.Uint32(b[0:4])
+	seg, rest, err := decodeSegKey(b[4:])
+	if err != nil {
+		return 0, SegKey{}, 0, err
+	}
+	slot = int(int32(binary.BigEndian.Uint32(rest[0:4])))
+	return client, seg, slot, wantDone(rest[4:])
+}
+
+// AppendFetchSlottedReply encodes (slotted, overflow) as two length-prefixed
+// sections.
+func AppendFetchSlottedReply(b, slotted, overflow []byte) []byte {
+	b = appendSection(b, slotted)
+	return appendSection(b, overflow)
+}
+
+// DecodeFetchSlottedReply parses AppendFetchSlottedReply bytes.
+func DecodeFetchSlottedReply(b []byte) (slotted, overflow []byte, err error) {
+	slotted, rest, err := decodeSection(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	overflow, rest, err = decodeSection(rest)
+	if err != nil {
+		return nil, nil, err
+	}
+	return slotted, overflow, wantDone(rest)
+}
+
+// AppendLockArgs encodes (client, tx, seg, mode).
+func AppendLockArgs(b []byte, client uint32, tx uint64, seg SegKey, mode LockMode) []byte {
+	b = binary.BigEndian.AppendUint32(b, client)
+	b = binary.BigEndian.AppendUint64(b, tx)
+	b = appendSegKey(b, seg)
+	return append(b, byte(mode))
+}
+
+// DecodeLockArgs parses AppendLockArgs bytes.
+func DecodeLockArgs(b []byte) (client uint32, tx uint64, seg SegKey, mode LockMode, err error) {
+	if len(b) < 4+8+12+1 {
+		return 0, 0, SegKey{}, 0, fmt.Errorf("%w: truncated lock args", ErrBadMessage)
+	}
+	client = binary.BigEndian.Uint32(b[0:4])
+	tx = binary.BigEndian.Uint64(b[4:12])
+	seg, rest, err := decodeSegKey(b[12:])
+	if err != nil {
+		return 0, 0, SegKey{}, 0, err
+	}
+	mode = LockMode(rest[0])
+	return client, tx, seg, mode, wantDone(rest[1:])
+}
+
+// AppendLockObjectArgs encodes (client, tx, seg, slot, mode).
+func AppendLockObjectArgs(b []byte, client uint32, tx uint64, seg SegKey, slot int, mode LockMode) []byte {
+	b = binary.BigEndian.AppendUint32(b, client)
+	b = binary.BigEndian.AppendUint64(b, tx)
+	b = appendSegKey(b, seg)
+	b = binary.BigEndian.AppendUint32(b, uint32(slot))
+	return append(b, byte(mode))
+}
+
+// DecodeLockObjectArgs parses AppendLockObjectArgs bytes.
+func DecodeLockObjectArgs(b []byte) (client uint32, tx uint64, seg SegKey, slot int, mode LockMode, err error) {
+	if len(b) < 4+8+12+4+1 {
+		return 0, 0, SegKey{}, 0, 0, fmt.Errorf("%w: truncated lock-object args", ErrBadMessage)
+	}
+	client = binary.BigEndian.Uint32(b[0:4])
+	tx = binary.BigEndian.Uint64(b[4:12])
+	seg, rest, err := decodeSegKey(b[12:])
+	if err != nil {
+		return 0, 0, SegKey{}, 0, 0, err
+	}
+	slot = int(int32(binary.BigEndian.Uint32(rest[0:4])))
+	mode = LockMode(rest[4])
+	return client, tx, seg, slot, mode, wantDone(rest[5:])
+}
+
+// AppendCommitArgs encodes (client, tx, segs): a count followed by that many
+// length-prefixed SegImage encodings. Shared by Commit and Prepare.
+func AppendCommitArgs(b []byte, client uint32, tx uint64, segs []SegImage) []byte {
+	b = binary.BigEndian.AppendUint32(b, client)
+	b = binary.BigEndian.AppendUint64(b, tx)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(segs)))
+	for i := range segs {
+		b = appendSection(b, EncodeSegImage(&segs[i]))
+	}
+	return b
+}
+
+// DecodeCommitArgs parses AppendCommitArgs bytes.
+func DecodeCommitArgs(b []byte) (client uint32, tx uint64, segs []SegImage, err error) {
+	if len(b) < 4+8+4 {
+		return 0, 0, nil, fmt.Errorf("%w: truncated commit args", ErrBadMessage)
+	}
+	client = binary.BigEndian.Uint32(b[0:4])
+	tx = binary.BigEndian.Uint64(b[4:12])
+	n := binary.BigEndian.Uint32(b[12:16])
+	rest := b[16:]
+	// Each image costs at least a 4-byte section prefix; reject counts the
+	// remaining bytes cannot possibly satisfy before allocating the slice.
+	if uint64(n)*4 > uint64(len(rest)) {
+		return 0, 0, nil, fmt.Errorf("%w: image count %d exceeds remaining bytes", ErrBadMessage, n)
+	}
+	segs = make([]SegImage, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var enc []byte
+		enc, rest, err = decodeSection(rest)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		img, err := DecodeSegImage(enc)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		segs = append(segs, *img)
+	}
+	return client, tx, segs, wantDone(rest)
+}
+
+// AppendCallbackArgs encodes the server→client revocation request.
+func AppendCallbackArgs(b []byte, seg SegKey) []byte {
+	return appendSegKey(b, seg)
+}
+
+// DecodeCallbackArgs parses AppendCallbackArgs bytes.
+func DecodeCallbackArgs(b []byte) (SegKey, error) {
+	seg, rest, err := decodeSegKey(b)
+	if err != nil {
+		return SegKey{}, err
+	}
+	return seg, wantDone(rest)
+}
+
+// AppendCallbackReply encodes the client's verdict.
+func AppendCallbackReply(b []byte, refused bool) []byte {
+	if refused {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+// DecodeCallbackReply parses AppendCallbackReply bytes.
+func DecodeCallbackReply(b []byte) (refused bool, err error) {
+	if len(b) != 1 || b[0] > 1 {
+		return false, fmt.Errorf("%w: bad callback reply", ErrBadMessage)
+	}
+	return b[0] == 1, nil
+}

@@ -1,0 +1,107 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestFetchArgsRoundTrip(t *testing.T) {
+	b := AppendFetchArgs(nil, 7, SegKey{Area: 3, Start: 1024})
+	client, seg, err := DecodeFetchArgs(b)
+	if err != nil || client != 7 || seg != (SegKey{Area: 3, Start: 1024}) {
+		t.Fatalf("client=%d seg=%+v err=%v", client, seg, err)
+	}
+	if _, _, err := DecodeFetchArgs(b[:len(b)-1]); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("truncated err = %v", err)
+	}
+	if _, _, err := DecodeFetchArgs(append(b, 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing err = %v", err)
+	}
+}
+
+func TestFetchLargeArgsRoundTrip(t *testing.T) {
+	b := AppendFetchLargeArgs(nil, 9, SegKey{Area: 1, Start: 8}, 42)
+	client, seg, slot, err := DecodeFetchLargeArgs(b)
+	if err != nil || client != 9 || slot != 42 || seg != (SegKey{Area: 1, Start: 8}) {
+		t.Fatalf("client=%d seg=%+v slot=%d err=%v", client, seg, slot, err)
+	}
+}
+
+func TestFetchSlottedReplyRoundTrip(t *testing.T) {
+	sl, ov := []byte("slotted-bytes"), []byte("overflow")
+	b := AppendFetchSlottedReply(nil, sl, ov)
+	gsl, gov, err := DecodeFetchSlottedReply(b)
+	if err != nil || !bytes.Equal(gsl, sl) || !bytes.Equal(gov, ov) {
+		t.Fatalf("sl=%q ov=%q err=%v", gsl, gov, err)
+	}
+	// Empty sections decode to nil.
+	b = AppendFetchSlottedReply(nil, nil, nil)
+	gsl, gov, err = DecodeFetchSlottedReply(b)
+	if err != nil || gsl != nil || gov != nil {
+		t.Fatalf("empty: sl=%v ov=%v err=%v", gsl, gov, err)
+	}
+}
+
+func TestLockArgsRoundTrip(t *testing.T) {
+	b := AppendLockArgs(nil, 2, 77, SegKey{Area: 5, Start: 64}, LockX)
+	client, tx, seg, mode, err := DecodeLockArgs(b)
+	if err != nil || client != 2 || tx != 77 || mode != LockX || seg != (SegKey{Area: 5, Start: 64}) {
+		t.Fatalf("client=%d tx=%d seg=%+v mode=%d err=%v", client, tx, seg, mode, err)
+	}
+}
+
+func TestLockObjectArgsRoundTrip(t *testing.T) {
+	b := AppendLockObjectArgs(nil, 2, 77, SegKey{Area: 5, Start: 64}, 13, LockS)
+	client, tx, seg, slot, mode, err := DecodeLockObjectArgs(b)
+	if err != nil || client != 2 || tx != 77 || slot != 13 || mode != LockS || seg != (SegKey{Area: 5, Start: 64}) {
+		t.Fatalf("client=%d tx=%d seg=%+v slot=%d mode=%d err=%v", client, tx, seg, slot, mode, err)
+	}
+}
+
+func TestCommitArgsRoundTrip(t *testing.T) {
+	segs := []SegImage{
+		{Seg: SegKey{Area: 1, Start: 16}, Slotted: []byte("sl1"), Overflow: nil, Data: []byte("d1")},
+		{Seg: SegKey{Area: 2, Start: 32}, Slotted: []byte("sl2"), Overflow: []byte("ov2"), Data: nil},
+	}
+	b := AppendCommitArgs(nil, 4, 99, segs)
+	client, tx, got, err := DecodeCommitArgs(b)
+	if err != nil || client != 4 || tx != 99 || len(got) != 2 {
+		t.Fatalf("client=%d tx=%d n=%d err=%v", client, tx, len(got), err)
+	}
+	for i := range segs {
+		if got[i].Seg != segs[i].Seg ||
+			!bytes.Equal(got[i].Slotted, segs[i].Slotted) ||
+			!bytes.Equal(got[i].Overflow, segs[i].Overflow) ||
+			!bytes.Equal(got[i].Data, segs[i].Data) {
+			t.Fatalf("image %d = %+v, want %+v", i, got[i], segs[i])
+		}
+	}
+	// Empty commit (no images) is legal — aborted-write transactions ship it.
+	client, tx, got, err = DecodeCommitArgs(AppendCommitArgs(nil, 1, 2, nil))
+	if err != nil || client != 1 || tx != 2 || len(got) != 0 {
+		t.Fatalf("empty commit: %d %d %v %v", client, tx, got, err)
+	}
+	// A hostile image count cannot drive a huge allocation.
+	bad := AppendCommitArgs(nil, 1, 2, nil)
+	bad[12], bad[13], bad[14], bad[15] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, _, _, err := DecodeCommitArgs(bad); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("hostile count err = %v", err)
+	}
+}
+
+func TestCallbackRoundTrip(t *testing.T) {
+	seg, err := DecodeCallbackArgs(AppendCallbackArgs(nil, SegKey{Area: 8, Start: 4096}))
+	if err != nil || seg != (SegKey{Area: 8, Start: 4096}) {
+		t.Fatalf("seg=%+v err=%v", seg, err)
+	}
+	for _, refused := range []bool{true, false} {
+		got, err := DecodeCallbackReply(AppendCallbackReply(nil, refused))
+		if err != nil || got != refused {
+			t.Fatalf("refused=%v got=%v err=%v", refused, got, err)
+		}
+	}
+	if _, err := DecodeCallbackReply([]byte{2}); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("bad reply err = %v", err)
+	}
+}

@@ -85,6 +85,10 @@ type Conn interface {
 	FetchSlotted(client uint32, seg SegKey) (slotted, overflow []byte, err error)
 	// FetchData returns the data segment image.
 	FetchData(client uint32, seg SegKey) ([]byte, error)
+	// FetchSeg returns the slotted, overflow, and data images in one round
+	// trip — the combined fetch a cold segment touch uses instead of a
+	// FetchSlotted/FetchData pair.
+	FetchSeg(client uint32, seg SegKey) (slotted, overflow, data []byte, err error)
 	// FetchLarge returns the content of a transparent large object.
 	FetchLarge(client uint32, seg SegKey, slot int) ([]byte, error)
 	// Resolve maps a 48-bit header offset to its segment and slot.

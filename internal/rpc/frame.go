@@ -1,0 +1,234 @@
+package rpc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Binary frame format.
+//
+// The wire unit is a length-prefixed binary frame with a fixed big-endian
+// header:
+//
+//	offset  size  field
+//	0       8     request id
+//	8       1     flags (bit0 reply, bit1 error, bit2 named method)
+//	9       2     method id (0 on replies and named-method frames)
+//	11      4     payload length N
+//	15      N     payload
+//
+// The payload of a request is the method's encoded argument body; hot
+// methods use the hand-written codecs in internal/proto, cold methods carry
+// a gob stream. A reply's payload is the encoded result body, or the error
+// message when the error flag is set — either way the bytes travel exactly
+// once (no inner encode of an outer frame, unlike the pre-E12 double-gob
+// protocol). Methods outside the fixed id table (flagNamed) prefix the
+// payload with a 2-byte name length and the method name, keeping the
+// protocol open to tests and future methods without burning ids.
+//
+// Every length is bounds-checked before anything is allocated, so a corrupt
+// or hostile prefix cannot drive a huge allocation, and a successful decode
+// always re-encodes to the identical bytes (the encoding is canonical —
+// FuzzFrameDecode holds the parser to this).
+const (
+	frameHdrLen = 15
+
+	flagReply uint8 = 1 << 0 // frame answers the request with the same id
+	flagError uint8 = 1 << 1 // reply payload is an error message
+	flagNamed uint8 = 1 << 2 // payload starts with u16 name length + name
+
+	flagsKnown = flagReply | flagError | flagNamed
+
+	// maxPayload bounds one frame (a commit can ship many segment images).
+	maxPayload = 1 << 30
+)
+
+// ErrBadFrame reports bytes that are not a valid frame encoding.
+var ErrBadFrame = errors.New("rpc: bad frame encoding")
+
+// Method ids. The table below is part of the wire protocol: ids are
+// append-only and never reassigned (the golden wire test pins them).
+// Id 0 is reserved for named-method frames.
+var methodNames = [...]string{
+	1:  "Hello",
+	2:  "OpenDB",
+	3:  "NewTx",
+	4:  "RegisterType",
+	5:  "Types",
+	6:  "NewFileID",
+	7:  "AddArea",
+	8:  "CreateSegment",
+	9:  "SegInfo",
+	10: "FetchSlotted",
+	11: "FetchData",
+	12: "FetchLarge",
+	13: "FetchSeg",
+	14: "Resolve",
+	15: "Lock",
+	16: "LockObject",
+	17: "Commit",
+	18: "Abort",
+	19: "Prepare",
+	20: "Decide",
+	21: "SegmentsOf",
+	22: "Released",
+	23: "CreateLarge",
+	24: "AllocRun",
+	25: "FreeRun",
+	26: "ReadRun",
+	27: "WriteRun",
+	28: "NameBind",
+	29: "NameLookup",
+	30: "NameUnbind",
+	31: "NameRemoveOID",
+	32: "Callback",
+}
+
+var methodIDs = func() map[string]uint16 {
+	m := make(map[string]uint16, len(methodNames))
+	for id, name := range methodNames {
+		if name != "" {
+			m[name] = uint16(id)
+		}
+	}
+	return m
+}()
+
+// frame is the parsed wire unit.
+type frame struct {
+	id     uint64
+	flags  uint8
+	method uint16 // 0 when the name travels inline (flagNamed)
+	name   string // resolved method name ("" on replies)
+	body   []byte
+}
+
+// appendFrame serializes f onto dst, returning the extended slice.
+func appendFrame(dst []byte, f *frame) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, f.id)
+	dst = append(dst, f.flags)
+	dst = binary.BigEndian.AppendUint16(dst, f.method)
+	plen := len(f.body)
+	if f.flags&flagNamed != 0 {
+		plen += 2 + len(f.name)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(plen))
+	if f.flags&flagNamed != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.name)))
+		dst = append(dst, f.name...)
+	}
+	return append(dst, f.body...)
+}
+
+// parseHeader validates a fixed header and returns the partial frame plus
+// the payload length still to read.
+func parseHeader(hdr *[frameHdrLen]byte) (frame, int, error) {
+	f := frame{
+		id:     binary.BigEndian.Uint64(hdr[0:8]),
+		flags:  hdr[8],
+		method: binary.BigEndian.Uint16(hdr[9:11]),
+	}
+	plen := binary.BigEndian.Uint32(hdr[11:15])
+	if f.flags&^flagsKnown != 0 {
+		return frame{}, 0, fmt.Errorf("%w: unknown flags %#02x", ErrBadFrame, f.flags)
+	}
+	if f.flags&flagNamed != 0 && f.method != 0 {
+		return frame{}, 0, fmt.Errorf("%w: named frame carries method id %d", ErrBadFrame, f.method)
+	}
+	if plen > maxPayload {
+		return frame{}, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, plen, maxPayload)
+	}
+	return f, int(plen), nil
+}
+
+// setPayload splits payload into inline name and body, resolving table
+// method ids. The body aliases payload; callers must hand over ownership.
+func (f *frame) setPayload(payload []byte) error {
+	if f.flags&flagNamed != 0 {
+		if len(payload) < 2 {
+			return fmt.Errorf("%w: truncated method name length", ErrBadFrame)
+		}
+		n := int(binary.BigEndian.Uint16(payload[0:2]))
+		if len(payload)-2 < n {
+			return fmt.Errorf("%w: method name length %d exceeds %d remaining bytes", ErrBadFrame, n, len(payload)-2)
+		}
+		f.name = string(payload[2 : 2+n])
+		payload = payload[2+n:]
+	} else if f.flags&flagReply == 0 && int(f.method) < len(methodNames) {
+		f.name = methodNames[f.method]
+	}
+	if len(payload) > 0 {
+		f.body = payload
+	} else {
+		f.body = nil
+	}
+	return nil
+}
+
+// readFrame reads and parses one frame from br. The returned frame's body
+// is freshly allocated: it may be retained and aliased by the consumer.
+func readFrame(br *bufio.Reader) (frame, error) {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	f, plen, err := parseHeader(&hdr)
+	if err != nil {
+		return frame{}, err
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return frame{}, err
+	}
+	if err := f.setPayload(payload); err != nil {
+		return frame{}, err
+	}
+	return f, nil
+}
+
+// decodeFrame parses one frame from the head of b, returning the number of
+// bytes consumed. The frame aliases b. This is the slice-based twin of
+// readFrame shared with FuzzFrameDecode.
+func decodeFrame(b []byte) (frame, int, error) {
+	if len(b) < frameHdrLen {
+		return frame{}, 0, fmt.Errorf("%w: %d bytes is shorter than a header", ErrBadFrame, len(b))
+	}
+	var hdr [frameHdrLen]byte
+	copy(hdr[:], b)
+	f, plen, err := parseHeader(&hdr)
+	if err != nil {
+		return frame{}, 0, err
+	}
+	if len(b)-frameHdrLen < plen {
+		return frame{}, 0, fmt.Errorf("%w: payload length %d exceeds %d remaining bytes", ErrBadFrame, plen, len(b)-frameHdrLen)
+	}
+	if err := f.setPayload(b[frameHdrLen : frameHdrLen+plen]); err != nil {
+		return frame{}, 0, err
+	}
+	return f, frameHdrLen + plen, nil
+}
+
+// bufPool recycles frame-encode scratch and write-coalescing buffers; the
+// send path allocates nothing steady-state for small frames.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// maxPooledBuf keeps one giant commit payload from pinning a huge buffer in
+// the pool forever.
+const maxPooledBuf = 1 << 20
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}

@@ -4,28 +4,31 @@
 // callback locking algorithm), so both ends of a connection can originate
 // requests.
 //
-// Wire format: a gob stream of frames; each frame carries a request or a
-// reply matched by id. Transports: TCP (cmd/bess-server) and net.Pipe for
-// in-process deterministic tests.
+// Wire format: a stream of length-prefixed binary frames (see frame.go);
+// each frame carries a request or a reply matched by id. Hot methods encode
+// their bodies with the hand-written codecs in internal/proto via CallRaw /
+// Handle; cold methods keep gob bodies via Call / HandleFunc, so the two
+// body codecs coexist on one connection. Outbound frames coalesce: a sender
+// appends its frame to a pending buffer and the first sender to reach the
+// socket flushes for everyone queued behind it — the same leader/follower
+// pattern the WAL uses for group commit, applied to writes instead of
+// fsyncs. Transports: TCP (cmd/bess-server) and net.Pipe for in-process
+// deterministic tests.
 package rpc
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
-)
+	"sync/atomic"
 
-// frame is the wire unit.
-type frame struct {
-	ID     uint64
-	Reply  bool
-	Method string
-	Err    string
-	Body   []byte
-}
+	"bess/internal/lockcheck"
+)
 
 // Errors returned by the peer.
 var (
@@ -33,28 +36,61 @@ var (
 	ErrNoHandler = errors.New("rpc: no handler for method")
 )
 
+// Runtime ranks of the peer's locks, mirroring the //bess:lockorder
+// directive in internal/server/lockorder.go. They rank below every server
+// lock: sending or matching RPC traffic while holding server state locks is
+// the latency/deadlock hazard the hierarchy exists to forbid.
+const (
+	rankPeerMu  lockcheck.Rank = 2
+	rankPeerWmu lockcheck.Rank = 5
+)
+
 // RemoteError wraps an error string returned by the other side.
 type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
 
-// Handler serves one method: decode args from r, return a reply value.
-type Handler func(dec *gob.Decoder) (any, error)
+// Handler serves one method: parse the request body, return the encoded
+// reply body (nil for an empty reply). The body aliases the read buffer of
+// its frame and may be retained.
+type Handler func(body []byte) ([]byte, error)
+
+// Stats are cumulative wire counters. With write coalescing Flushes stays
+// below FramesSent under concurrency: followers whose frame was carried to
+// the socket by another sender's flush count as Coalesced.
+type Stats struct {
+	FramesSent int64
+	Flushes    int64
+	Coalesced  int64
+}
 
 // Peer is one end of a connection. Both sides may Call and Serve. Safe for
 // concurrent use.
 type Peer struct {
 	conn io.ReadWriteCloser
 
-	writeMu sync.Mutex
-	enc     *gob.Encoder
+	nextID atomic.Uint64 // request ids, assigned without locking
 
-	mu       sync.Mutex
-	handlers map[string]Handler
-	pending  map[uint64]chan frame
-	nextID   uint64
-	closed   bool
-	closeErr error
+	// Write side: senders append encoded frames to pending; the first to
+	// arrive becomes the leader, detaches the buffer, and writes+flushes it
+	// outside the lock while followers park on wcond (mirrors wal.Log.Flush).
+	wmu      lockcheck.Mutex
+	wcond    *sync.Cond
+	bw       *bufio.Writer // leader-only (serialized by writing)
+	pending  []byte        // guarded by wmu
+	wseq     uint64        // guarded by wmu; frames appended
+	wflushed uint64        // guarded by wmu; frames on the socket
+	writing  bool          // guarded by wmu; a leader is on the socket
+	werr     error         // guarded by wmu; sticky first write error
+	frames   int64         // guarded by wmu
+	flushes  int64         // guarded by wmu
+	grouped  int64         // guarded by wmu
+
+	mu       lockcheck.Mutex
+	handlers map[string]Handler    // guarded by mu
+	calls    map[uint64]chan frame // guarded by mu
+	closed   bool                  // guarded by mu
+	closeErr error                 // guarded by mu
 
 	// OnClose runs once when the read loop exits.
 	OnClose func(error)
@@ -64,37 +100,52 @@ type Peer struct {
 func NewPeer(conn io.ReadWriteCloser) *Peer {
 	p := &Peer{
 		conn:     conn,
-		enc:      gob.NewEncoder(conn),
+		bw:       bufio.NewWriterSize(conn, 64<<10),
 		handlers: make(map[string]Handler),
-		pending:  make(map[uint64]chan frame),
-		nextID:   1,
+		calls:    make(map[uint64]chan frame),
 	}
+	p.mu.Init("Peer.mu", rankPeerMu)
+	p.wmu.Init("Peer.wmu", rankPeerWmu)
+	p.wcond = sync.NewCond(&p.wmu)
 	go p.readLoop()
 	return p
 }
 
-// Handle registers a method handler. Must be called before the method can
-// arrive; registering after NewPeer but before the other side calls is the
-// normal pattern.
+// Handle registers a raw method handler (binary body codec). Must be called
+// before the method can arrive; registering after NewPeer but before the
+// other side calls is the normal pattern.
 func (p *Peer) Handle(method string, h Handler) {
 	p.mu.Lock()
 	p.handlers[method] = h
 	p.mu.Unlock()
 }
 
-// HandleFunc registers a typed handler: args is decoded into a fresh A.
+// HandleFunc registers a typed gob handler: args is decoded into a fresh A.
+// This is the cold-method fallback; hot methods register a Handle with a
+// proto binary codec instead.
 func HandleFunc[A any, R any](p *Peer, method string, fn func(*A) (*R, error)) {
-	p.Handle(method, func(dec *gob.Decoder) (any, error) {
+	p.Handle(method, func(body []byte) ([]byte, error) {
 		var a A
-		if err := dec.Decode(&a); err != nil {
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&a); err != nil {
 			return nil, fmt.Errorf("rpc: decode %s args: %w", method, err)
 		}
-		return fn(&a)
+		res, err := fn(&a)
+		if err != nil || res == nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
 	})
 }
 
-// Call sends a request and decodes the reply into reply (a pointer).
-func (p *Peer) Call(method string, args any, reply any) error {
+// CallRaw sends a request whose body is already encoded and returns the
+// reply body. The reply aliases the read buffer — no second decode pass.
+func (p *Peer) CallRaw(method string, body []byte) ([]byte, error) {
+	id := p.nextID.Add(1)
+	ch := make(chan frame, 1)
 	p.mu.Lock()
 	if p.closed {
 		err := p.closeErr
@@ -102,96 +153,165 @@ func (p *Peer) Call(method string, args any, reply any) error {
 		if err == nil {
 			err = ErrClosed
 		}
-		return err
+		return nil, err
 	}
-	id := p.nextID
-	p.nextID++
-	ch := make(chan frame, 1)
-	p.pending[id] = ch
+	p.calls[id] = ch
 	p.mu.Unlock()
 
-	body, err := encodeBody(args)
-	if err != nil {
-		p.dropPending(id)
-		return err
+	f := frame{id: id, body: body}
+	if mid, ok := methodIDs[method]; ok {
+		f.method = mid
+	} else {
+		f.flags |= flagNamed
+		f.name = method
 	}
-	if err := p.send(frame{ID: id, Method: method, Body: body}); err != nil {
-		p.dropPending(id)
-		return err
+	if err := p.send(&f); err != nil {
+		p.dropCall(id)
+		return nil, err
 	}
-	f, ok := <-ch
+	rf, ok := <-ch
 	if !ok {
-		return ErrClosed
+		return nil, ErrClosed
 	}
-	if f.Err != "" {
-		return &RemoteError{Msg: f.Err}
+	if rf.flags&flagError != 0 {
+		return nil, &RemoteError{Msg: string(rf.body)}
+	}
+	return rf.body, nil
+}
+
+// Call sends a request with a gob-encoded body and gob-decodes the reply
+// into reply (a pointer). The cold-method path.
+func (p *Peer) Call(method string, args any, reply any) error {
+	var body []byte
+	if args != nil {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(args); err != nil {
+			return err
+		}
+		body = buf.Bytes()
+	}
+	rb, err := p.CallRaw(method, body)
+	if err != nil {
+		return err
 	}
 	if reply != nil {
-		dec := gob.NewDecoder(bytesReader(f.Body))
-		if err := dec.Decode(reply); err != nil {
+		if err := gob.NewDecoder(bytes.NewReader(rb)).Decode(reply); err != nil {
 			return fmt.Errorf("rpc: decode %s reply: %w", method, err)
 		}
 	}
 	return nil
 }
 
-func (p *Peer) dropPending(id uint64) {
+func (p *Peer) dropCall(id uint64) {
 	p.mu.Lock()
-	delete(p.pending, id)
+	delete(p.calls, id)
 	p.mu.Unlock()
 }
 
-func (p *Peer) send(f frame) error {
-	p.writeMu.Lock()
-	defer p.writeMu.Unlock()
-	return p.enc.Encode(f)
+// send serializes f into a pooled scratch buffer and hands the bytes to the
+// coalescing writer.
+func (p *Peer) send(f *frame) error {
+	bp := getBuf()
+	*bp = appendFrame((*bp)[:0], f)
+	err := p.write(*bp)
+	putBuf(bp)
+	return err
 }
 
-func encodeBody(v any) ([]byte, error) {
-	var buf writerBuf
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
+// write appends one encoded frame to the pending buffer and returns once
+// those bytes are on the socket — flushed either by this sender as leader
+// or by another sender's flush that covered them.
+func (p *Peer) write(frame []byte) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if p.werr != nil {
+		return p.werr
 	}
-	return buf.b, nil
-}
-
-// writerBuf is a minimal bytes.Buffer substitute for encode.
-type writerBuf struct{ b []byte }
-
-func (w *writerBuf) Write(p []byte) (int, error) {
-	w.b = append(w.b, p...)
-	return len(p), nil
-}
-
-type readerBuf struct {
-	b []byte
-	i int
-}
-
-func (r *readerBuf) Read(p []byte) (int, error) {
-	if r.i >= len(r.b) {
-		return 0, io.EOF
+	if p.pending == nil {
+		bp := getBuf()
+		p.pending = *bp
 	}
-	n := copy(p, r.b[r.i:])
-	r.i += n
-	return n, nil
+	p.pending = append(p.pending, frame...)
+	p.wseq++
+	p.frames++
+	return p.flushPending(p.wseq)
 }
 
-func bytesReader(b []byte) io.Reader { return &readerBuf{b: b} }
+// flushPending blocks until every frame through seq is written. Called with
+// p.wmu held; returns with it held (the lock is dropped around each socket
+// write so other senders keep queueing — the leader carries them out on its
+// next pass while they wait parked on wcond).
+//
+//bess:holds wmu
+func (p *Peer) flushPending(seq uint64) error {
+	waited := false
+	for {
+		if p.werr != nil {
+			return p.werr
+		}
+		if p.wflushed >= seq {
+			if waited {
+				p.grouped++
+			}
+			return nil
+		}
+		if !p.writing {
+			break
+		}
+		waited = true
+		p.wcond.Wait()
+	}
+	// Leader: write batches outside the lock until nothing is pending.
+	// Frames appended while a batch is on the socket ride the next pass, so
+	// their senders stay parked and count as coalesced — the leader drains
+	// the queue for everyone instead of handing the socket back per frame.
+	p.writing = true
+	for p.werr == nil && len(p.pending) > 0 {
+		buf := p.pending
+		top := p.wseq
+		p.pending = nil
+		p.wmu.Unlock()
+		_, err := p.bw.Write(buf)
+		if err == nil {
+			err = p.bw.Flush()
+		}
+		p.wmu.Lock()
+		if err != nil {
+			// The stream is byte-oriented: a short write leaves the socket
+			// unframeable, so the connection is done for — fail everyone.
+			p.werr = err
+		} else {
+			p.wflushed = top
+			p.flushes++
+			putBuf(&buf)
+		}
+		p.wcond.Broadcast()
+	}
+	p.writing = false
+	p.wcond.Broadcast()
+	return p.werr
+}
+
+// WireStats reports cumulative write-side counters.
+func (p *Peer) WireStats() Stats {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return Stats{FramesSent: p.frames, Flushes: p.flushes, Coalesced: p.grouped}
+}
 
 func (p *Peer) readLoop() {
-	dec := gob.NewDecoder(p.conn)
+	br := bufio.NewReaderSize(p.conn, 64<<10)
 	var err error
 	for {
 		var f frame
-		if err = dec.Decode(&f); err != nil {
+		if f, err = readFrame(br); err != nil {
 			break
 		}
-		if f.Reply {
+		if f.flags&flagReply != 0 {
 			p.mu.Lock()
-			ch, ok := p.pending[f.ID]
+			ch, ok := p.calls[f.id]
 			if ok {
-				delete(p.pending, f.ID)
+				delete(p.calls, f.id)
 			}
 			p.mu.Unlock()
 			if ok {
@@ -208,27 +328,31 @@ func (p *Peer) readLoop() {
 
 func (p *Peer) dispatch(f frame) {
 	p.mu.Lock()
-	h := p.handlers[f.Method]
+	h := p.handlers[f.name]
 	p.mu.Unlock()
-	var reply frame
-	reply.ID = f.ID
-	reply.Reply = true
+	reply := frame{id: f.id, flags: flagReply}
 	if h == nil {
-		reply.Err = ErrNoHandler.Error() + ": " + f.Method
+		name := f.name
+		if name == "" {
+			name = fmt.Sprintf("#%d", f.method)
+		}
+		reply.flags |= flagError
+		reply.body = []byte(ErrNoHandler.Error() + ": " + name)
 	} else {
-		res, err := h(gob.NewDecoder(bytesReader(f.Body)))
+		body, err := h(f.body)
 		if err != nil {
-			reply.Err = err.Error()
-		} else if res != nil {
-			body, err := encodeBody(res)
-			if err != nil {
-				reply.Err = err.Error()
-			} else {
-				reply.Body = body
-			}
+			reply.flags |= flagError
+			reply.body = []byte(err.Error())
+		} else {
+			reply.body = body
 		}
 	}
-	_ = p.send(reply)
+	if err := p.send(&reply); err != nil {
+		// A peer that cannot carry a reply is broken for every caller in
+		// both directions: shut it down so pending calls fail fast instead
+		// of hanging until TCP notices.
+		p.shutdown(err)
+	}
 }
 
 func (p *Peer) shutdown(err error) {
@@ -239,19 +363,26 @@ func (p *Peer) shutdown(err error) {
 	}
 	p.closed = true
 	p.closeErr = err
-	for id, ch := range p.pending {
+	for id, ch := range p.calls {
 		close(ch)
-		delete(p.pending, id)
+		delete(p.calls, id)
 	}
 	onClose := p.OnClose
 	p.mu.Unlock()
+	// Fail senders parked on the coalescing buffer and any future writes.
+	p.wmu.Lock()
+	if p.werr == nil {
+		p.werr = ErrClosed
+	}
+	p.wcond.Broadcast()
+	p.wmu.Unlock()
 	p.conn.Close()
 	if onClose != nil {
 		onClose(err)
 	}
 }
 
-// Close tears the connection down; pending calls fail.
+// Close tears the connection down; pending calls fail with ErrClosed.
 func (p *Peer) Close() error {
 	err := p.conn.Close()
 	p.shutdown(ErrClosed)

@@ -107,21 +107,129 @@ func TestConcurrentCalls(t *testing.T) {
 	}
 }
 
+// TestCloseFailsPendingAndFutureCalls is the mid-call close regression: a
+// peer closed while calls are in flight must fail every pending call with
+// ErrClosed — promptly, not by deadlocking until some transport timeout —
+// and future calls must fail the same way.
 func TestCloseFailsPendingAndFutureCalls(t *testing.T) {
 	a, b := Pipe()
+	release := make(chan struct{})
 	HandleFunc(b, "slow", func(in *echoArgs) (*echoReply, error) {
-		time.Sleep(200 * time.Millisecond)
+		<-release
 		return &echoReply{}, nil
 	})
-	done := make(chan error, 1)
-	go func() { done <- a.Call("slow", &echoArgs{}, &echoReply{}) }()
+	defer close(release)
+	const pending = 8
+	done := make(chan error, pending)
+	for i := 0; i < pending; i++ {
+		go func() { done <- a.Call("slow", &echoArgs{}, &echoReply{}) }()
+	}
 	time.Sleep(20 * time.Millisecond)
 	a.Close()
-	if err := <-done; err == nil {
-		t.Fatal("pending call survived close")
+	for i := 0; i < pending; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("pending call err = %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("pending call deadlocked after close")
+		}
 	}
-	if err := a.Call("echo", &echoArgs{}, nil); err == nil {
-		t.Fatal("call after close succeeded")
+	if err := a.Call("echo", &echoArgs{}, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after close err = %v, want ErrClosed", err)
+	}
+}
+
+// TestConcurrentRawCalls hammers CallRaw from many goroutines and then
+// checks the coalescing counters: all frames arrive intact, and the write
+// path flushed fewer times than it sent frames (followers rode a leader's
+// flush at least part of the time).
+func TestConcurrentRawCalls(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	b.Handle("sum", func(body []byte) ([]byte, error) {
+		var s byte
+		for _, x := range body {
+			s += x
+		}
+		return []byte{s}, nil
+	})
+	const callers, perCaller = 16, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := make([]byte, i+1)
+			var want byte
+			for j := range body {
+				body[j] = byte(i + j)
+				want += body[j]
+			}
+			for k := 0; k < perCaller; k++ {
+				rep, err := a.CallRaw("sum", body)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(rep) != 1 || rep[0] != want {
+					errs <- errors.New("bad sum reply")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := a.WireStats()
+	if st.FramesSent != callers*perCaller {
+		t.Fatalf("frames sent = %d, want %d", st.FramesSent, callers*perCaller)
+	}
+	if st.Flushes <= 0 || st.Flushes > st.FramesSent {
+		t.Fatalf("flushes = %d out of %d frames", st.Flushes, st.FramesSent)
+	}
+	// net.Pipe writes block until the reader drains them, so with 16 callers
+	// the leader is guaranteed to pick up parked followers on its next pass:
+	// coalescing must engage here, deterministically, even on one CPU.
+	if st.Flushes >= st.FramesSent {
+		t.Fatalf("flushes = %d for %d frames: no batching", st.Flushes, st.FramesSent)
+	}
+	if st.Coalesced == 0 {
+		t.Fatalf("no coalesced frames under %d concurrent callers", callers)
+	}
+}
+
+// TestReplySendFailureShutsDown: when a handler's reply cannot be sent, the
+// peer must shut down (failing everything) instead of leaving the caller
+// hanging forever.
+func TestReplySendFailureShutsDown(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	started := make(chan struct{})
+	b.Handle("wedge", func(body []byte) ([]byte, error) {
+		close(started)
+		// Kill the transport under b before it sends the reply.
+		time.Sleep(10 * time.Millisecond)
+		b.conn.Close()
+		return []byte("late"), nil
+	})
+	closed := make(chan struct{})
+	b.OnClose = func(error) { close(closed) }
+	_, err := a.CallRaw("wedge", nil)
+	if err == nil {
+		t.Fatal("call succeeded over a dead transport")
+	}
+	<-started
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer did not shut down after reply send failure")
 	}
 }
 

@@ -14,20 +14,27 @@
 // are unranked: they carry no ordering constraints but are still checked
 // for recursive acquisition at runtime.
 //
+// The rpc.Peer locks rank below (outside) every server lock: a dispatch
+// handler holds Peer.mu briefly before touching server state, and the
+// coalescing writer takes Peer.wmu when a reply goes out — but no code path
+// may send or match RPC traffic while holding server state locks, which is
+// exactly the nesting the low ranks forbid.
+//
 // The hot paths rely on these locks never actually nesting (each is
 // released before the next is taken — see Server's doc comment); the
 // hierarchy exists so that any future nesting some PR introduces is forced
 // into one deadlock-free direction and mechanically verified.
 //
-//bess:lockorder Server.areaMu < Server.clientMu < Server.copyMu < txShard.mu < catalog.mu < Log.mu
+//bess:lockorder Peer.mu < Peer.wmu < Server.areaMu < Server.clientMu < Server.copyMu < txShard.mu < catalog.mu < Log.mu
 package server
 
 import "bess/internal/lockcheck"
 
 // Runtime ranks mirroring the //bess:lockorder directive above. Lower rank
 // = acquired earlier (outermost). Log.mu's rank lives in the wal package
-// (wal.RankLogMu) because wal cannot import server; bess-vet's self-test
-// keeps the two files consistent with the directive.
+// (wal.RankLogMu) and the Peer ranks in the rpc package (rankPeerMu,
+// rankPeerWmu) because neither can import server; bess-vet's self-test
+// keeps the files consistent with the directive.
 const (
 	rankAreaMu   lockcheck.Rank = 10
 	rankClientMu lockcheck.Rank = 20

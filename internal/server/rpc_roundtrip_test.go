@@ -87,27 +87,37 @@ func TestRPCFullSurface(t *testing.T) {
 		t.Fatalf("segments = %v", segs.Segs)
 	}
 
-	var fs proto.FetchSlottedReply
-	if err := p.Call("FetchSlotted", &proto.FetchSlottedArgs{Client: hello.Client, Seg: cs.Seg}, &fs); err != nil {
+	// Hot methods speak the binary codecs over raw frame bodies.
+	fsBody, err := p.CallRaw("FetchSlotted", proto.AppendFetchArgs(nil, hello.Client, cs.Seg))
+	if err != nil {
 		t.Fatal(err)
 	}
-	var fd proto.FetchDataReply
-	if err := p.Call("FetchData", &proto.FetchDataArgs{Client: hello.Client, Seg: cs.Seg}, &fd); err != nil {
+	if _, _, err := proto.DecodeFetchSlottedReply(fsBody); err != nil {
 		t.Fatal(err)
+	}
+	if _, err := p.CallRaw("FetchData", proto.AppendFetchArgs(nil, hello.Client, cs.Seg)); err != nil {
+		t.Fatal(err)
+	}
+	segBody, err := p.CallRaw("FetchSeg", proto.AppendFetchArgs(nil, hello.Client, cs.Seg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := proto.DecodeSegImage(segBody)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Seg != cs.Seg || len(img.Slotted) == 0 || len(img.Data) == 0 {
+		t.Fatalf("combined fetch image = %+v", img.Seg)
 	}
 
 	var ntx proto.NewTxReply
 	if err := p.Call("NewTx", &proto.NewTxArgs{Client: hello.Client}, &ntx); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Call("Lock", &proto.LockArgs{
-		Client: hello.Client, Tx: ntx.Tx, Seg: cs.Seg, Mode: proto.LockX,
-	}, &proto.Empty{}); err != nil {
+	if _, err := p.CallRaw("Lock", proto.AppendLockArgs(nil, hello.Client, ntx.Tx, cs.Seg, proto.LockX)); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Call("LockObject", &proto.LockObjectArgs{
-		Client: hello.Client, Tx: ntx.Tx, Seg: cs.Seg, Slot: 0, Mode: proto.LockS,
-	}, &proto.Empty{}); err != nil {
+	if _, err := p.CallRaw("LockObject", proto.AppendLockObjectArgs(nil, hello.Client, ntx.Tx, cs.Seg, 0, proto.LockS)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -119,16 +129,14 @@ func TestRPCFullSurface(t *testing.T) {
 	}, &cl); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.Call("Commit", &proto.CommitArgs{Client: hello.Client, Tx: ntx.Tx}, &proto.Empty{}); err != nil {
+	if _, err := p.CallRaw("Commit", proto.AppendCommitArgs(nil, hello.Client, ntx.Tx, nil)); err != nil {
 		t.Fatal(err)
 	}
-	var fl proto.FetchLargeReply
-	if err := p.Call("FetchLarge", &proto.FetchLargeArgs{
-		Client: hello.Client, Seg: cs.Seg, Slot: cl.Slot,
-	}, &fl); err != nil {
+	flData, err := p.CallRaw("FetchLarge", proto.AppendFetchLargeArgs(nil, hello.Client, cs.Seg, cl.Slot))
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(fl.Data, content) {
+	if !bytes.Equal(flData, content) {
 		t.Fatal("large content over RPC")
 	}
 
@@ -238,7 +246,7 @@ func TestRPCDisconnectCleans(t *testing.T) {
 	p.Call("CreateSegment", &proto.CreateSegmentArgs{DB: odb.DB, FileID: 1, SlottedPages: 1, DataPages: 1}, &cs)
 	var ntx proto.NewTxReply
 	p.Call("NewTx", &proto.NewTxArgs{}, &ntx)
-	if err := p.Call("Lock", &proto.LockArgs{Client: hello.Client, Tx: ntx.Tx, Seg: cs.Seg, Mode: proto.LockX}, &proto.Empty{}); err != nil {
+	if _, err := p.CallRaw("Lock", proto.AppendLockArgs(nil, hello.Client, ntx.Tx, cs.Seg, proto.LockX)); err != nil {
 		t.Fatal(err)
 	}
 	p.Close() // connection drops; OnClose disconnects the client

@@ -10,6 +10,10 @@ import (
 // an RPC handler, and the client's callback path (server→client revocation)
 // is routed back over the same connection. It returns after registering;
 // the peer's read loop drives everything.
+//
+// The hot methods — fetches, locks, commit, and the callback — use the
+// binary codecs from internal/proto over raw frame bodies; everything else
+// stays on the gob fallback.
 func ServePeer(s *Server, p *rpc.Peer) {
 	var clientID uint32
 
@@ -21,11 +25,11 @@ func ServePeer(s *Server, p *rpc.Peer) {
 		clientID = id
 		// Revocations travel back over this connection.
 		err = s.SetCallback(id, func(seg proto.SegKey) (bool, error) {
-			var rep proto.CallbackReply
-			if err := p.Call("Callback", &proto.CallbackArgs{Seg: seg}, &rep); err != nil {
+			rb, err := p.CallRaw("Callback", proto.AppendCallbackArgs(nil, seg))
+			if err != nil {
 				return false, err
 			}
-			return rep.Refused, nil
+			return proto.DecodeCallbackReply(rb)
 		})
 		if err != nil {
 			return nil, err
@@ -95,26 +99,41 @@ func ServePeer(s *Server, p *rpc.Peer) {
 		}
 		return &proto.SegInfoReply{SlottedPages: n}, nil
 	})
-	rpc.HandleFunc(p, "FetchSlotted", func(a *proto.FetchSlottedArgs) (*proto.FetchSlottedReply, error) {
-		sl, ov, err := s.FetchSlotted(a.Client, a.Seg)
+	p.Handle("FetchSlotted", func(body []byte) ([]byte, error) {
+		client, seg, err := proto.DecodeFetchArgs(body)
 		if err != nil {
 			return nil, err
 		}
-		return &proto.FetchSlottedReply{Slotted: sl, Overflow: ov}, nil
+		sl, ov, err := s.FetchSlotted(client, seg)
+		if err != nil {
+			return nil, err
+		}
+		return proto.AppendFetchSlottedReply(nil, sl, ov), nil
 	})
-	rpc.HandleFunc(p, "FetchData", func(a *proto.FetchDataArgs) (*proto.FetchDataReply, error) {
-		d, err := s.FetchData(a.Client, a.Seg)
+	p.Handle("FetchData", func(body []byte) ([]byte, error) {
+		client, seg, err := proto.DecodeFetchArgs(body)
 		if err != nil {
 			return nil, err
 		}
-		return &proto.FetchDataReply{Data: d}, nil
+		return s.FetchData(client, seg)
 	})
-	rpc.HandleFunc(p, "FetchLarge", func(a *proto.FetchLargeArgs) (*proto.FetchLargeReply, error) {
-		d, err := s.FetchLarge(a.Client, a.Seg, a.Slot)
+	p.Handle("FetchSeg", func(body []byte) ([]byte, error) {
+		client, seg, err := proto.DecodeFetchArgs(body)
 		if err != nil {
 			return nil, err
 		}
-		return &proto.FetchLargeReply{Data: d}, nil
+		sl, ov, data, err := s.FetchSeg(client, seg)
+		if err != nil {
+			return nil, err
+		}
+		return proto.EncodeSegImage(&proto.SegImage{Seg: seg, Slotted: sl, Overflow: ov, Data: data}), nil
+	})
+	p.Handle("FetchLarge", func(body []byte) ([]byte, error) {
+		client, seg, slot, err := proto.DecodeFetchLargeArgs(body)
+		if err != nil {
+			return nil, err
+		}
+		return s.FetchLarge(client, seg, slot)
 	})
 	rpc.HandleFunc(p, "Resolve", func(a *proto.ResolveArgs) (*proto.ResolveReply, error) {
 		seg, slot, err := s.Resolve(a.DB, a.HeaderOff)
@@ -123,23 +142,26 @@ func ServePeer(s *Server, p *rpc.Peer) {
 		}
 		return &proto.ResolveReply{Seg: seg, Slot: slot}, nil
 	})
-	rpc.HandleFunc(p, "Lock", func(a *proto.LockArgs) (*proto.Empty, error) {
-		if err := s.Lock(a.Client, a.Tx, a.Seg, a.Mode); err != nil {
+	p.Handle("Lock", func(body []byte) ([]byte, error) {
+		client, tx, seg, mode, err := proto.DecodeLockArgs(body)
+		if err != nil {
 			return nil, err
 		}
-		return &proto.Empty{}, nil
+		return nil, s.Lock(client, tx, seg, mode)
 	})
-	rpc.HandleFunc(p, "LockObject", func(a *proto.LockObjectArgs) (*proto.Empty, error) {
-		if err := s.LockObject(a.Client, a.Tx, a.Seg, a.Slot, a.Mode); err != nil {
+	p.Handle("LockObject", func(body []byte) ([]byte, error) {
+		client, tx, seg, slot, mode, err := proto.DecodeLockObjectArgs(body)
+		if err != nil {
 			return nil, err
 		}
-		return &proto.Empty{}, nil
+		return nil, s.LockObject(client, tx, seg, slot, mode)
 	})
-	rpc.HandleFunc(p, "Commit", func(a *proto.CommitArgs) (*proto.Empty, error) {
-		if err := s.Commit(a.Client, a.Tx, a.Segs); err != nil {
+	p.Handle("Commit", func(body []byte) ([]byte, error) {
+		client, tx, segs, err := proto.DecodeCommitArgs(body)
+		if err != nil {
 			return nil, err
 		}
-		return &proto.Empty{}, nil
+		return nil, s.Commit(client, tx, segs)
 	})
 	rpc.HandleFunc(p, "Abort", func(a *proto.AbortArgs) (*proto.Empty, error) {
 		if err := s.Abort(a.Client, a.Tx); err != nil {

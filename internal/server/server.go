@@ -511,6 +511,36 @@ func (s *Server) readSeg(seg proto.SegKey) (*segment.Seg, []byte, []byte, error)
 	return dec, img, over, nil
 }
 
+// recordCopy notes that client caches seg so callbacks reach it.
+func (s *Server) recordCopy(client uint32, seg proto.SegKey) {
+	if client == 0 {
+		return
+	}
+	s.copyMu.Lock()
+	set := s.copies[seg]
+	if set == nil {
+		set = make(map[uint32]bool)
+		s.copies[seg] = set
+	}
+	set[client] = true
+	s.copyMu.Unlock()
+}
+
+// readData loads the data segment named by a decoded slotted header.
+func (s *Server) readData(dec *segment.Seg) ([]byte, error) {
+	da := s.lookupArea(uint32(dec.Hdr.DataArea))
+	if da == nil {
+		return nil, ErrNoArea
+	}
+	data := make([]byte, int(dec.Hdr.DataPages)*page.Size)
+	for i := 0; i < int(dec.Hdr.DataPages); i++ {
+		if err := da.ReadPage(dec.Hdr.DataStart+page.No(i), data[i*page.Size:(i+1)*page.Size]); err != nil {
+			return nil, err
+		}
+	}
+	return data, nil
+}
+
 // FetchSlotted implements proto.Conn; it also records the client in the
 // copy table so callbacks reach it.
 func (s *Server) FetchSlotted(client uint32, seg proto.SegKey) ([]byte, []byte, error) {
@@ -520,16 +550,7 @@ func (s *Server) FetchSlotted(client uint32, seg proto.SegKey) ([]byte, []byte, 
 	if err != nil {
 		return nil, nil, err
 	}
-	if client != 0 {
-		s.copyMu.Lock()
-		set := s.copies[seg]
-		if set == nil {
-			set = make(map[uint32]bool)
-			s.copies[seg] = set
-		}
-		set[client] = true
-		s.copyMu.Unlock()
-	}
+	s.recordCopy(client, seg)
 	_ = s.hk.Fire(hooks.EvSegmentFault, seg)
 	return img, over, nil
 }
@@ -542,17 +563,29 @@ func (s *Server) FetchData(client uint32, seg proto.SegKey) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	da := s.lookupArea(uint32(dec.Hdr.DataArea))
-	if da == nil {
-		return nil, ErrNoArea
+	return s.readData(dec)
+}
+
+// FetchSeg implements proto.Conn: the combined cold-touch fetch. One message
+// returns what a FetchSlotted + FetchData pair would, so a first access to a
+// segment costs a single round trip. Both per-kind fetch counters still
+// advance (E3's fault accounting counts segment faults, not messages), but
+// the message counter advances once.
+func (s *Server) FetchSeg(client uint32, seg proto.SegKey) ([]byte, []byte, []byte, error) {
+	s.stats.messages.Add(1)
+	s.stats.slottedFetches.Add(1)
+	s.stats.dataFetches.Add(1)
+	dec, img, over, err := s.readSeg(seg)
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	data := make([]byte, int(dec.Hdr.DataPages)*page.Size)
-	for i := 0; i < int(dec.Hdr.DataPages); i++ {
-		if err := da.ReadPage(dec.Hdr.DataStart+page.No(i), data[i*page.Size:(i+1)*page.Size]); err != nil {
-			return nil, err
-		}
+	data, err := s.readData(dec)
+	if err != nil {
+		return nil, nil, nil, err
 	}
-	return data, nil
+	s.recordCopy(client, seg)
+	_ = s.hk.Fire(hooks.EvSegmentFault, seg)
+	return img, over, data, nil
 }
 
 // FetchLarge implements proto.Conn: the descriptor names the run holding
