@@ -1,0 +1,907 @@
+package main
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// codecsym verifies that hand-written binary codec pairs stay symmetric: for
+// every AppendXxx/EncodeXxx function in a //bess:codecsym package there must
+// be a DecodeXxx counterpart, and the sequence of fields the encoder writes
+// must agree — in count, order, and width — with the sequence the decoder
+// reads. Editing one side without the other desyncs the wire format; this
+// analyzer fails the build before a cross-version test can.
+//
+// Both sides are abstracted to the same little op language:
+//
+//	u8 u16 u32 u64   fixed-width big-endian fields
+//	bytes            a variable-length byte run (append(b, s...) / rest[:n])
+//	rep(n){...}      a repeated group (loop); n = -1 when the count is dynamic
+//	call(f)          delegation to another codec function (expanded before
+//	                 comparison, so one side may inline what the other calls)
+//
+// Encoders are walked tracking the builder slice (first []byte parameter or
+// a make([]byte, ...) local); decoders tracking the cursor (first []byte
+// parameter and every continuation slice rest := b[k:] derived from it).
+// Branches fork the walk; the longest path is canonical and every other path
+// must be a prefix of it (early error bails), unrolling reps as needed.
+// Reads of the same cursor bytes twice (b[0] checked then returned) count
+// once. Functions whose paths genuinely diverge or explode past a cap are
+// skipped rather than guessed at.
+
+type opKind int
+
+const (
+	opU8 opKind = iota
+	opU16
+	opU32
+	opU64
+	opBytes
+	opRep
+	opCall
+)
+
+type op struct {
+	kind  opKind
+	fn    *types.Func // opCall: the codec function delegated to
+	count int         // opRep: iteration count, -1 if dynamic
+	body  []op        // opRep
+}
+
+const maxCodecPaths = 256
+
+// codecFn is one Append*/Encode*/Decode* function in an opted-in package.
+type codecFn struct {
+	key  string // lowercased name suffix: pair identity
+	enc  bool
+	fn   *types.Func
+	decl *ast.FuncDecl
+	p    *pkg
+
+	seq          []op
+	ok           bool // extraction succeeded and paths were consistent
+	cursorResult int  // decoders: result index returning the continuation cursor, -1 if none
+}
+
+// codecPair joins the two sides of one key.
+type codecPair struct {
+	key      string
+	enc, dec *codecFn
+}
+
+func analyzeCodecSym(pkgs []*pkg, dirs *directives, r *reporter) {
+	fns := gatherCodecs(pkgs, dirs)
+	if len(fns) == 0 {
+		return
+	}
+	byFunc := map[*types.Func]*codecFn{}
+	for _, c := range fns {
+		byFunc[c.fn] = c
+	}
+	// Cursor-result indexes first: extraction of a caller needs its helper
+	// callees' result shapes regardless of iteration order.
+	for _, c := range fns {
+		c.cursorResult = -1
+		if !c.enc {
+			c.cursorResult = findCursorResult(c)
+		}
+	}
+	for _, c := range fns {
+		extractSeq(c, byFunc)
+	}
+	for _, pr := range pairCodecs(fns) {
+		switch {
+		case pr.enc == nil:
+			r.report(pr.dec.decl.Name.Pos(), "codecsym",
+				"%s has no matching encoder (Append%s/Encode%s) in this package",
+				pr.dec.fn.Name(), exportedKey(pr.dec), exportedKey(pr.dec))
+		case pr.dec == nil:
+			r.report(pr.enc.decl.Name.Pos(), "codecsym",
+				"%s has no matching decoder (Decode%s) in this package",
+				pr.enc.fn.Name(), exportedKey(pr.enc))
+		default:
+			if !pr.enc.ok || !pr.dec.ok {
+				continue // extraction bailed; nothing trustworthy to compare
+			}
+			e := expandSeq(pr.enc.seq, byFunc, true, map[*types.Func]bool{pr.enc.fn: true})
+			d := expandSeq(pr.dec.seq, byFunc, false, map[*types.Func]bool{pr.dec.fn: true})
+			if e == nil || d == nil {
+				continue
+			}
+			if !seqEq(e, d) {
+				r.report(pr.dec.decl.Name.Pos(), "codecsym",
+					"codec pair %q out of sync: %s writes [%s] but %s reads [%s]",
+					pr.key, pr.enc.fn.Name(), fmtSeq(e), pr.dec.fn.Name(), fmtSeq(d))
+			}
+		}
+	}
+}
+
+// gatherCodecs finds every prefix-named codec function in opted-in packages.
+func gatherCodecs(pkgs []*pkg, dirs *directives) []*codecFn {
+	var out []*codecFn
+	for _, p := range pkgs {
+		if !dirs.codecsym[p.path] {
+			continue
+		}
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Recv != nil {
+					continue
+				}
+				obj, _ := p.info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				key, enc, ok := codecKey(fd.Name.Name)
+				if !ok {
+					continue
+				}
+				out = append(out, &codecFn{key: key, enc: enc, fn: obj, decl: fd, p: p})
+			}
+		}
+	}
+	return out
+}
+
+// codecKey splits a codec function name into (pair key, isEncoder).
+func codecKey(name string) (string, bool, bool) {
+	for _, pre := range []string{"Append", "Encode", "append", "encode"} {
+		if rest, ok := strings.CutPrefix(name, pre); ok && rest != "" {
+			return strings.ToLower(rest), true, true
+		}
+	}
+	for _, pre := range []string{"Decode", "decode"} {
+		if rest, ok := strings.CutPrefix(name, pre); ok && rest != "" {
+			return strings.ToLower(rest), false, true
+		}
+	}
+	return "", false, false
+}
+
+// pairCodecs groups codec functions by key, sorted for deterministic output.
+func pairCodecs(fns []*codecFn) []*codecPair {
+	byKey := map[string]*codecPair{}
+	for _, c := range fns {
+		pr := byKey[c.key]
+		if pr == nil {
+			pr = &codecPair{key: c.key}
+			byKey[c.key] = pr
+		}
+		if c.enc {
+			if pr.enc == nil {
+				pr.enc = c
+			}
+		} else if pr.dec == nil {
+			pr.dec = c
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]*codecPair, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	return out
+}
+
+// exportedKey renders the pair key with the casing of the function's own
+// suffix, for readable messages.
+func exportedKey(c *codecFn) string {
+	name := c.fn.Name()
+	for _, pre := range []string{"Append", "Encode", "append", "encode", "Decode", "decode"} {
+		if rest, ok := strings.CutPrefix(name, pre); ok && rest != "" {
+			return rest
+		}
+	}
+	return c.key
+}
+
+// expandSeq replaces call ops with the callee's expanded sequence for the
+// matching side. Returns nil if any callee is unknown or cyclic.
+func expandSeq(seq []op, byFunc map[*types.Func]*codecFn, enc bool, visiting map[*types.Func]bool) []op {
+	var out []op
+	for _, o := range seq {
+		switch o.kind {
+		case opCall:
+			c := byFunc[o.fn]
+			if c == nil || !c.ok || visiting[o.fn] {
+				return nil
+			}
+			visiting[o.fn] = true
+			sub := expandSeq(c.seq, byFunc, enc, visiting)
+			delete(visiting, o.fn)
+			if sub == nil {
+				return nil
+			}
+			out = append(out, sub...)
+		case opRep:
+			body := expandSeq(o.body, byFunc, enc, visiting)
+			if body == nil {
+				return nil
+			}
+			out = append(out, op{kind: opRep, count: o.count, body: body})
+		default:
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+func opEq(a, b op) bool {
+	if a.kind != b.kind {
+		return false
+	}
+	switch a.kind {
+	case opCall:
+		return a.fn == b.fn
+	case opRep:
+		// -1 (dynamic) matches any count: one side may know the length
+		// statically while the other reads it off the wire.
+		if a.count != b.count && a.count != -1 && b.count != -1 {
+			return false
+		}
+		return seqEq(a.body, b.body)
+	}
+	return true
+}
+
+func seqEq(a, b []op) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !opEq(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// isPrefixSeq reports whether short is a prefix of long, unrolling rep ops
+// in long: an early error bail may return mid-loop, so a path that consumes
+// whole bodies plus a proper body prefix and then stops is still consistent.
+func isPrefixSeq(short, long []op) bool {
+	j := 0
+	for i := 0; i < len(short); {
+		if j >= len(long) {
+			return false
+		}
+		l := long[j]
+		if l.kind == opRep && !(short[i].kind == opRep && opEq(short[i], l)) {
+			rem := short[i:]
+			if len(l.body) == 0 {
+				return len(rem) == 0
+			}
+			for len(rem) >= len(l.body) && seqEq(rem[:len(l.body)], l.body) {
+				rem = rem[len(l.body):]
+			}
+			return isPrefixSeq(rem, l.body)
+		}
+		if !opEq(short[i], l) {
+			return false
+		}
+		i++
+		j++
+	}
+	return true
+}
+
+func fmtSeq(seq []op) string {
+	var b strings.Builder
+	for i, o := range seq {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch o.kind {
+		case opU8:
+			b.WriteString("u8")
+		case opU16:
+			b.WriteString("u16")
+		case opU32:
+			b.WriteString("u32")
+		case opU64:
+			b.WriteString("u64")
+		case opBytes:
+			b.WriteString("bytes")
+		case opCall:
+			b.WriteString("call(" + o.fn.Name() + ")")
+		case opRep:
+			if o.count >= 0 {
+				b.WriteString("rep(" + itoa(o.count) + "){" + fmtSeq(o.body) + "}")
+			} else {
+				b.WriteString("rep(*){" + fmtSeq(o.body) + "}")
+			}
+		}
+	}
+	return b.String()
+}
+
+// ---- sequence extraction ----
+
+// cpath is one control-flow path through a codec function.
+type cpath struct {
+	ops  []op
+	gens map[*types.Var]int // builder/cursor vars -> generation
+	seen map[string]bool    // read-dedupe keys (var#gen@offset)
+	term bool               // ended at a return
+}
+
+func (c *cpath) copy() *cpath {
+	n := &cpath{
+		ops:  append([]op(nil), c.ops...),
+		gens: make(map[*types.Var]int, len(c.gens)),
+		seen: make(map[string]bool, len(c.seen)),
+		term: c.term,
+	}
+	for k, v := range c.gens {
+		n.gens[k] = v
+	}
+	for k := range c.seen {
+		n.seen[k] = true
+	}
+	return n
+}
+
+// cwalk extracts the op sequences of one codec function.
+type cwalk struct {
+	c      *codecFn
+	byFunc map[*types.Func]*codecFn
+	bad    bool // path explosion or unsupported shape
+}
+
+// extractSeq computes c.seq (the canonical op sequence) and c.ok.
+func extractSeq(c *codecFn, byFunc map[*types.Func]*codecFn) {
+	w := &cwalk{c: c, byFunc: byFunc}
+	start := &cpath{gens: map[*types.Var]int{}, seen: map[string]bool{}}
+	if v := firstSliceParam(c); v != nil {
+		start.gens[v] = 0
+	} else if !c.enc {
+		return // a decoder with no []byte input is not a codec we understand
+	}
+	live, done := w.walkBlock(c.decl.Body.List, []*cpath{start})
+	if w.bad {
+		return
+	}
+	paths := append(done, live...)
+	if len(paths) == 0 {
+		return
+	}
+	canon := paths[0]
+	for _, p := range paths[1:] {
+		if len(p.ops) > len(canon.ops) {
+			canon = p
+		}
+	}
+	for _, p := range paths {
+		if p != canon && !isPrefixSeq(p.ops, canon.ops) {
+			return // branch-dependent format: skip rather than guess
+		}
+	}
+	c.seq = canon.ops
+	c.ok = true
+}
+
+// firstSliceParam returns the first []byte parameter, the builder (encoders)
+// or root cursor (decoders).
+func firstSliceParam(c *codecFn) *types.Var {
+	sig := c.fn.Type().(*types.Signature)
+	for i := 0; i < sig.Params().Len(); i++ {
+		v := sig.Params().At(i)
+		if isByteSlice(v.Type()) {
+			return v
+		}
+	}
+	return nil
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
+}
+
+// findCursorResult scans a decoder's returns for a result position that
+// yields a continuation cursor (rest, or b[k:]) to the caller. A variable is
+// a cursor if it descends from the root []byte parameter through a chain of
+// continuation slices (rest := b[4:], rest = rest[n:]); []byte locals that
+// hold decoded data (section payloads) are not.
+func findCursorResult(c *codecFn) int {
+	root := firstSliceParam(c)
+	if root == nil {
+		return -1
+	}
+	cursorish := map[*types.Var]bool{root: true}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(c.decl.Body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+				return true
+			}
+			se, ok := ast.Unparen(as.Rhs[0]).(*ast.SliceExpr)
+			if !ok || se.High != nil {
+				return true
+			}
+			base, _ := baseIdentObj(c.p, se.X).(*types.Var)
+			if base == nil || !cursorish[base] {
+				return true
+			}
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				if v := identVar(c.p, id); v != nil && !cursorish[v] {
+					cursorish[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	idx := -1
+	ast.Inspect(c.decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) < 2 {
+			return true
+		}
+		for i, r := range ret.Results {
+			switch e := ast.Unparen(r).(type) {
+			case *ast.SliceExpr:
+				if e.High == nil {
+					if v, _ := baseIdentObj(c.p, e.X).(*types.Var); v != nil && cursorish[v] {
+						idx = i
+					}
+				}
+			case *ast.Ident:
+				if v, ok := c.p.info.Uses[e].(*types.Var); ok && cursorish[v] && v != root {
+					idx = i
+				}
+			}
+		}
+		return true
+	})
+	return idx
+}
+
+// walkBlock runs stmts over a set of live paths; returns (live, finished).
+func (w *cwalk) walkBlock(stmts []ast.Stmt, live []*cpath) ([]*cpath, []*cpath) {
+	var done []*cpath
+	for _, s := range stmts {
+		var next []*cpath
+		for _, st := range live {
+			l, d := w.walkStmt(s, st)
+			next = append(next, l...)
+			done = append(done, d...)
+		}
+		live = next
+		if len(live) > maxCodecPaths || len(done) > maxCodecPaths {
+			w.bad = true
+			return nil, nil
+		}
+		if len(live) == 0 {
+			break
+		}
+	}
+	return live, done
+}
+
+func (w *cwalk) walkStmt(s ast.Stmt, st *cpath) (live, done []*cpath) {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		w.scanExpr(n.X, st)
+	case *ast.AssignStmt:
+		w.walkAssign(n, st)
+	case *ast.IncDecStmt:
+		// loop counters: no reads of interest
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			w.scanExpr(r, st)
+		}
+		st.term = true
+		return nil, []*cpath{st}
+	case *ast.IfStmt:
+		if n.Init != nil {
+			l, d := w.walkStmt(n.Init, st)
+			if len(l) != 1 {
+				w.bad = true
+				return nil, d
+			}
+			st = l[0]
+		}
+		w.scanExpr(n.Cond, st)
+		thenSt := st.copy()
+		tl, td := w.walkBlock(n.Body.List, []*cpath{thenSt})
+		done = append(done, td...)
+		if n.Else != nil {
+			el, ed := w.walkStmt(n.Else, st)
+			return append(tl, el...), append(done, ed...)
+		}
+		return append(tl, st), done
+	case *ast.BlockStmt:
+		return w.walkBlock(n.List, []*cpath{st})
+	case *ast.ForStmt:
+		if n.Init != nil {
+			l, _ := w.walkStmt(n.Init, st)
+			if len(l) != 1 {
+				w.bad = true
+				return nil, nil
+			}
+			st = l[0]
+		}
+		w.scanExpr(n.Cond, st)
+		return w.walkLoop(n.Body, st, forCount(w.c.p, n))
+	case *ast.RangeStmt:
+		w.scanExpr(n.X, st)
+		return w.walkLoop(n.Body, st, rangeCount(w.c.p, n))
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// No codec in this codebase branches its wire format on a switch;
+		// treat as opaque rather than model it.
+		w.bad = true
+		return nil, nil
+	case *ast.BranchStmt:
+		// break/continue: end this path as a body prefix
+		return nil, []*cpath{st}
+	case *ast.LabeledStmt:
+		return w.walkStmt(n.Stmt, st)
+	}
+	return []*cpath{st}, nil
+}
+
+// walkLoop folds the body into a rep op: body paths are extracted once, the
+// longest consistent one becomes the rep body, and return-terminated body
+// paths surface as whole-function early-exit paths.
+func (w *cwalk) walkLoop(body *ast.BlockStmt, st *cpath, count int) (live, done []*cpath) {
+	pre := len(st.ops)
+	bl, bd := w.walkBlock(body.List, []*cpath{st.copy()})
+	if w.bad {
+		return nil, nil
+	}
+	// Returns inside the body are early exits of the enclosing function.
+	for _, d := range bd {
+		if d.term {
+			done = append(done, d)
+		}
+	}
+	if len(bl) == 0 {
+		// Body always returns: the loop runs at most one visible iteration.
+		return nil, done
+	}
+	canon := bl[0]
+	for _, p := range bl[1:] {
+		if len(p.ops) > len(canon.ops) {
+			canon = p
+		}
+	}
+	for _, p := range bl {
+		if p != canon && !isPrefixSeq(p.ops[pre:], canon.ops[pre:]) {
+			w.bad = true
+			return nil, nil
+		}
+	}
+	out := canon
+	bodyOps := append([]op(nil), out.ops[pre:]...)
+	out.ops = append(out.ops[:pre:pre], op{kind: opRep, count: count, body: bodyOps})
+	return []*cpath{out}, done
+}
+
+// forCount extracts a static iteration count from `for i := 0; i < N; i++`.
+func forCount(p *pkg, n *ast.ForStmt) int {
+	cond, ok := n.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.LSS {
+		return -1
+	}
+	if v := constIntOf(p, cond.Y); v >= 0 {
+		if as, ok := n.Init.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			if lo := constIntOf(p, as.Rhs[0]); lo >= 0 {
+				return v - lo
+			}
+		}
+	}
+	return -1
+}
+
+// rangeCount returns the element count when ranging over a composite literal.
+func rangeCount(p *pkg, n *ast.RangeStmt) int {
+	if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+		return len(cl.Elts)
+	}
+	return -1
+}
+
+// constIntOf evaluates e as a compile-time integer, -1 if it is not one.
+func constIntOf(p *pkg, e ast.Expr) int {
+	tv, ok := p.info.Types[e]
+	if !ok || tv.Value == nil {
+		return -1
+	}
+	v, ok := constant.Int64Val(constant.ToInt(tv.Value))
+	if !ok || v < 0 {
+		return -1
+	}
+	return int(v)
+}
+
+// walkAssign scans the RHS for ops, then updates builder/cursor bookkeeping.
+func (w *cwalk) walkAssign(n *ast.AssignStmt, st *cpath) {
+	for _, r := range n.Rhs {
+		w.scanExpr(r, st)
+	}
+	if len(n.Rhs) != 1 {
+		return
+	}
+	rhs := ast.Unparen(n.Rhs[0])
+
+	bind := func(i int) {
+		if i < 0 || i >= len(n.Lhs) {
+			return
+		}
+		id, ok := n.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		v := identVar(w.c.p, id)
+		if v == nil {
+			return
+		}
+		if g, ok := st.gens[v]; ok {
+			st.gens[v] = g + 1
+		} else {
+			st.gens[v] = 0
+		}
+	}
+
+	switch e := rhs.(type) {
+	case *ast.SliceExpr:
+		// rest := b[k:] — continuation cursor (or builder reslice).
+		if e.High == nil && w.trackedVar(e.X, st) != nil {
+			bind(0)
+		}
+	case *ast.CallExpr:
+		callee := calleeOf(w.c.p, e)
+		if c := w.byFunc[callee]; c != nil && !c.enc && c.cursorResult >= 0 && w.callUsesCursor(e, st) {
+			bind(c.cursorResult)
+		}
+		if w.c.enc {
+			// b := make([]byte, ...) — a local builder (EncodeSegImage style).
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "make" && len(e.Args) > 0 {
+				if t, ok := w.c.p.info.Types[e.Args[0]]; ok && isByteSlice(t.Type) {
+					bind(0)
+				}
+			}
+			// b = append(b, ...) / b = AppendX(b, ...): builder stays tracked.
+		}
+	}
+}
+
+// trackedVar resolves e to a currently tracked builder/cursor variable.
+func (w *cwalk) trackedVar(e ast.Expr, st *cpath) *types.Var {
+	obj := baseIdentObj(w.c.p, ast.Unparen(e))
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, tracked := st.gens[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+func identVar(p *pkg, id *ast.Ident) *types.Var {
+	if v, ok := p.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := p.info.Uses[id].(*types.Var)
+	return v
+}
+
+// emitRead appends a fixed-width read op once per (cursor, generation,
+// offset): re-reading the same bytes (b[0] validated then returned) is one
+// wire field, not two.
+func (w *cwalk) emitRead(k opKind, v *types.Var, gen int, offKey string, st *cpath) {
+	key := v.Name() + "#" + itoa(gen) + "@" + offKey
+	if st.seen[key] {
+		return
+	}
+	st.seen[key] = true
+	st.ops = append(st.ops, op{kind: k})
+}
+
+// offsetKey renders a slice/index offset expression for read dedupe.
+func (w *cwalk) offsetKey(e ast.Expr) string {
+	if e == nil {
+		return "0"
+	}
+	if v := constIntOf(w.c.p, e); v >= 0 {
+		return itoa(v)
+	}
+	return render(e)
+}
+
+// scanExpr walks one expression emitting ops in evaluation order.
+func (w *cwalk) scanExpr(e ast.Expr, st *cpath) {
+	switch n := e.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		w.scanCall(n, st)
+	case *ast.BinaryExpr:
+		w.scanExpr(n.X, st)
+		w.scanExpr(n.Y, st)
+	case *ast.UnaryExpr:
+		w.scanExpr(n.X, st)
+	case *ast.StarExpr:
+		w.scanExpr(n.X, st)
+	case *ast.ParenExpr:
+		w.scanExpr(n.X, st)
+	case *ast.TypeAssertExpr:
+		w.scanExpr(n.X, st)
+	case *ast.IndexExpr:
+		if !w.c.enc {
+			if v := w.trackedVar(n.X, st); v != nil {
+				w.emitRead(opU8, v, st.gens[v], w.offsetKey(n.Index), st)
+				return
+			}
+		}
+		w.scanExpr(n.X, st)
+		w.scanExpr(n.Index, st)
+	case *ast.SliceExpr:
+		if v := w.trackedVar(n.X, st); v != nil {
+			if n.High == nil {
+				return // continuation cursor / builder reslice: no bytes move
+			}
+			if !w.c.enc && constIntOf(w.c.p, n.High) < 0 {
+				// rest[:n] with a dynamic bound: a byte-run read.
+				st.ops = append(st.ops, op{kind: opBytes})
+			}
+			// Constant-bounded windows (b[0:4]) are header reads handled by
+			// the enclosing binary.BigEndian call; bare ones move no cursor.
+			return
+		}
+		w.scanExpr(n.X, st)
+		w.scanExpr(n.Low, st)
+		w.scanExpr(n.High, st)
+		w.scanExpr(n.Max, st)
+	case *ast.CompositeLit:
+		for _, el := range n.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				w.scanExpr(kv.Value, st)
+				continue
+			}
+			w.scanExpr(el, st)
+		}
+	case *ast.FuncLit:
+		// closures do not touch the builder/cursor in any codec we accept
+	}
+}
+
+// widthOps maps encoding/binary function names to ops.
+var widthOps = map[string]opKind{
+	"AppendUint16": opU16, "AppendUint32": opU32, "AppendUint64": opU64,
+	"Uint16": opU16, "Uint32": opU32, "Uint64": opU64,
+	"PutUint16": opU16, "PutUint32": opU32, "PutUint64": opU64,
+}
+
+func (w *cwalk) scanCall(call *ast.CallExpr, st *cpath) {
+	// binary.BigEndian.UintNN / AppendUintNN
+	if k, slice, ok := w.binaryOp(call); ok {
+		if w.c.enc {
+			if w.trackedVar(slice, st) != nil {
+				st.ops = append(st.ops, op{kind: k})
+			}
+			for _, a := range call.Args[1:] {
+				w.scanExpr(a, st)
+			}
+			return
+		}
+		// Decode: the argument is cursor[lo:hi]; dedupe on (cursor, gen, lo).
+		if se, ok := ast.Unparen(slice).(*ast.SliceExpr); ok {
+			if v := w.trackedVar(se.X, st); v != nil {
+				w.emitRead(k, v, st.gens[v], w.offsetKey(se.Low), st)
+				return
+			}
+		}
+		if v := w.trackedVar(slice, st); v != nil {
+			w.emitRead(k, v, st.gens[v], "0", st)
+			return
+		}
+		w.scanExpr(slice, st)
+		return
+	}
+
+	// append(builder, ...) on the encode side
+	if w.c.enc {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			if w.trackedVar(call.Args[0], st) != nil {
+				if call.Ellipsis.IsValid() {
+					st.ops = append(st.ops, op{kind: opBytes})
+				} else {
+					for range call.Args[1:] {
+						st.ops = append(st.ops, op{kind: opU8})
+					}
+				}
+				for _, a := range call.Args[1:] {
+					w.scanExpr(a, st)
+				}
+				return
+			}
+		}
+	}
+
+	// Delegation to another codec function in the set.
+	callee := calleeOf(w.c.p, call)
+	if c := w.byFunc[callee]; c != nil && c.enc == w.c.enc && w.callUsesCursor(call, st) {
+		st.ops = append(st.ops, op{kind: opCall, fn: callee})
+		for _, a := range call.Args[1:] {
+			w.scanExpr(a, st)
+		}
+		return
+	}
+
+	// Anything else: scan arguments for reads (len(b) etc. emit nothing).
+	for _, a := range call.Args {
+		w.scanExpr(a, st)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		w.scanExpr(sel.X, st)
+	}
+}
+
+// binaryOp matches binary.BigEndian.<fn>(slice, ...) calls, returning the op
+// kind and the slice argument.
+func (w *cwalk) binaryOp(call *ast.CallExpr) (opKind, ast.Expr, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return 0, nil, false
+	}
+	k, ok := widthOps[sel.Sel.Name]
+	if !ok || len(call.Args) == 0 {
+		return 0, nil, false
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || (inner.Sel.Name != "BigEndian" && inner.Sel.Name != "LittleEndian") {
+		return 0, nil, false
+	}
+	id, ok := inner.X.(*ast.Ident)
+	if !ok {
+		return 0, nil, false
+	}
+	pn, ok := w.c.p.info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "encoding/binary" {
+		return 0, nil, false
+	}
+	return k, call.Args[0], true
+}
+
+// callUsesCursor reports whether the call's first argument is the tracked
+// builder/cursor (plainly or as a continuation slice).
+func (w *cwalk) callUsesCursor(call *ast.CallExpr, st *cpath) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	return w.trackedVar(call.Args[0], st) != nil
+}

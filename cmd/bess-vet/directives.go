@@ -14,6 +14,8 @@ import (
 //	//bess:holds mu                    (func contract: caller holds recv.mu)
 //	//bess:prepublish                  (func builds a value not yet shared)
 //	// guarded by mu                   (struct field annotation)
+//	//bess:resource acquire=F release=G [sink=T.f[,T.g]] [mode=owned|pinned]
+//	//bess:codecsym                    (package opts into codec symmetry)
 type directives struct {
 	// rank maps a lock class ("Server.areaMu") to its position in the
 	// declared hierarchy (1-based; outermost lowest). 0 = unranked.
@@ -24,6 +26,9 @@ type directives struct {
 	holds      map[*types.Func]string // func -> mutex field name
 	prepublish map[*types.Func]bool
 	guarded    map[*types.Var]string // struct field -> mutex field name
+
+	resources []*resourceDecl // //bess:resource pairs, all packages
+	codecsym  map[string]bool // package path -> opted into codecsym
 }
 
 func newDirectives() *directives {
@@ -32,7 +37,26 @@ func newDirectives() *directives {
 		holds:      make(map[*types.Func]string),
 		prepublish: make(map[*types.Func]bool),
 		guarded:    make(map[*types.Var]string),
+		codecsym:   make(map[string]bool),
 	}
+}
+
+// resourceDecl is one //bess:resource pair. In owned mode (the default) the
+// acquire result is an owned value that must reach the release function (or
+// a declared sink field, or a return) on every path; in pinned mode only
+// double-release and use-after-release are checked, because pins and
+// mappings legitimately outlive the acquiring function.
+type resourceDecl struct {
+	name    string // "getBuf/putBuf", for messages
+	acquire *types.Func
+	release *types.Func
+	sinks   map[*types.Var]bool // struct fields allowed to hold the value
+	pinned  bool
+	// argKeyed: the acquire returns no resource value (only error); the
+	// release identifies the resource by its first argument expression
+	// (Space.Map / Space.Unmap style). Checked for double-release only.
+	argKeyed bool
+	pos      token.Pos
 }
 
 // collect scans one type-checked package for all directive forms.
@@ -48,6 +72,14 @@ func (d *directives) collect(p *pkg) error {
 					if err := d.parseOrder(rest, c.Pos()); err != nil {
 						return err
 					}
+				}
+				if rest, ok := strings.CutPrefix(text, "bess:resource "); ok {
+					if err := d.parseResource(p, rest, c.Pos()); err != nil {
+						return err
+					}
+				}
+				if text == "bess:codecsym" {
+					d.codecsym[p.path] = true
 				}
 			}
 		}
@@ -129,6 +161,117 @@ func (d *directives) collectGuarded(p *pkg, st *ast.StructType) {
 			}
 		}
 	}
+}
+
+// parseResource parses a //bess:resource directive. acquire/release accept
+// a package function name ("getBuf") or "Type.Method" ("Pool.Acquire"),
+// resolved in the directive's own package. sink lists comma-separated
+// "Type.field" struct fields that may legitimately hold the resource.
+func (d *directives) parseResource(p *pkg, spec string, pos token.Pos) error {
+	r := &resourceDecl{sinks: make(map[*types.Var]bool), pos: pos}
+	for _, kv := range strings.Fields(spec) {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok || val == "" {
+			return fmt.Errorf("//bess:resource: bad clause %q (want key=value)", kv)
+		}
+		switch key {
+		case "acquire", "release":
+			fn, err := resolveFunc(p, val)
+			if err != nil {
+				return fmt.Errorf("//bess:resource %s=%s: %w", key, val, err)
+			}
+			if key == "acquire" {
+				r.acquire = fn
+			} else {
+				r.release = fn
+			}
+		case "sink":
+			for _, s := range strings.Split(val, ",") {
+				fv, err := resolveField(p, s)
+				if err != nil {
+					return fmt.Errorf("//bess:resource sink=%s: %w", s, err)
+				}
+				r.sinks[fv] = true
+			}
+		case "mode":
+			switch val {
+			case "owned":
+			case "pinned":
+				r.pinned = true
+			default:
+				return fmt.Errorf("//bess:resource: unknown mode %q", val)
+			}
+		default:
+			return fmt.Errorf("//bess:resource: unknown clause %q", key)
+		}
+	}
+	if r.acquire == nil || r.release == nil {
+		return fmt.Errorf("//bess:resource: both acquire= and release= are required")
+	}
+	// The resource identity: normally the acquire's first non-error result.
+	// When the acquire returns nothing trackable, fall back to keying the
+	// release by its first argument expression (mmap-style pairs).
+	if sig, ok := r.acquire.Type().(*types.Signature); ok {
+		trackable := false
+		for i := 0; i < sig.Results().Len(); i++ {
+			if !isErrorType(sig.Results().At(i).Type()) {
+				trackable = true
+				break
+			}
+		}
+		r.argKeyed = !trackable
+	}
+	r.name = r.acquire.Name() + "/" + r.release.Name()
+	d.resources = append(d.resources, r)
+	return nil
+}
+
+// resolveFunc looks up "name" or "Type.Method" in the package scope.
+func resolveFunc(p *pkg, name string) (*types.Func, error) {
+	scope := p.tpkg.Scope()
+	if typ, method, ok := strings.Cut(name, "."); ok {
+		obj := scope.Lookup(typ)
+		tn, _ := obj.(*types.TypeName)
+		if tn == nil {
+			return nil, fmt.Errorf("type %s not found in package %s", typ, p.path)
+		}
+		named, _ := tn.Type().(*types.Named)
+		if named == nil {
+			return nil, fmt.Errorf("%s is not a named type", typ)
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if m := named.Method(i); m.Name() == method {
+				return m, nil
+			}
+		}
+		return nil, fmt.Errorf("method %s not found on %s", method, typ)
+	}
+	if fn, ok := scope.Lookup(name).(*types.Func); ok {
+		return fn, nil
+	}
+	return nil, fmt.Errorf("function %s not found in package %s", name, p.path)
+}
+
+// resolveField looks up a "Type.field" struct field in the package scope.
+func resolveField(p *pkg, name string) (*types.Var, error) {
+	typ, field, ok := strings.Cut(name, ".")
+	if !ok {
+		return nil, fmt.Errorf("want Type.field, got %q", name)
+	}
+	tn, _ := p.tpkg.Scope().Lookup(typ).(*types.TypeName)
+	if tn == nil {
+		return nil, fmt.Errorf("type %s not found in package %s", typ, p.path)
+	}
+	st, _ := tn.Type().Underlying().(*types.Struct)
+	if st == nil {
+		return nil, fmt.Errorf("%s is not a struct type", typ)
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if f := st.Field(i); f.Name() == field {
+			return f, nil
+		}
+	}
+	return nil, fmt.Errorf("field %s not found on %s", field, typ)
 }
 
 func guardedMu(cg *ast.CommentGroup) string {

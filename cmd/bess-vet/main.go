@@ -8,28 +8,41 @@
 //   - guarded: struct fields annotated `// guarded by <mu>` may only be
 //     touched with that mutex held (writes need the exclusive lock).
 //   - defers: every Lock/RLock is paired with an Unlock on every exit path.
+//   - poollife: acquire/release pairs declared by //bess:resource (pooled
+//     frame buffers, segment pins, mmap mappings) are released exactly once
+//     on every path and never escape the pool's sight.
+//   - atomicmix: a field accessed through sync/atomic anywhere must be
+//     accessed atomically everywhere, and plain 64-bit fields used with the
+//     64-bit atomics must be 8-aligned under the 32-bit layout.
+//   - codecsym: Append*/Decode* pairs in //bess:codecsym packages write and
+//     read the same field sequence (count, order, width).
 //
 // Usage:
 //
 //	go run ./cmd/bess-vet ./...
-//	go run ./cmd/bess-vet ./internal/... ./cmd/...
+//	go run ./cmd/bess-vet -json ./internal/... ./cmd/...
 //
-// Exits 1 when any finding is reported, 2 on loader errors. The tool is
-// stdlib-only (go/parser, go/types with the source importer): it needs no
-// build cache and no external binaries.
+// Exits 1 when any finding is reported, 2 on loader errors. With -json the
+// findings are printed as a JSON array (empty array when clean) instead of
+// the line-oriented report. The tool is stdlib-only (go/parser, go/types
+// with the source importer): it needs no build cache and no external
+// binaries.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
 func main() {
 	var (
-		dir  = flag.String("C", ".", "module directory to analyze")
-		only = flag.String("only", "", "comma-separated analyzer subset (lockorder,durability,guarded,defers)")
+		dir     = flag.String("C", ".", "module directory to analyze")
+		only    = flag.String("only", "", "comma-separated analyzer subset (lockorder,durability,guarded,defers,poollife,atomicmix,codecsym)")
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	)
 	flag.Parse()
 	patterns := flag.Args()
@@ -41,11 +54,46 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bess-vet: %v\n", err)
 		os.Exit(2)
 	}
-	for _, f := range findings {
-		fmt.Printf("%s:%d:%d: [%s] %s\n", f.pos.Filename, f.pos.Line, f.pos.Column, f.analyzer, f.msg)
+	if *jsonOut {
+		type rec struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		// Report paths relative to the analyzed directory so CI can feed
+		// them straight into ::error file=… annotations.
+		base, _ := filepath.Abs(*dir)
+		recs := make([]rec, 0, len(findings))
+		for _, f := range findings {
+			name := f.pos.Filename
+			if rel, err := filepath.Rel(base, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			recs = append(recs, rec{
+				File:     name,
+				Line:     f.pos.Line,
+				Col:      f.pos.Column,
+				Analyzer: f.analyzer,
+				Message:  f.msg,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(recs); err != nil {
+			fmt.Fprintf(os.Stderr, "bess-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.pos.Filename, f.pos.Line, f.pos.Column, f.analyzer, f.msg)
+		}
+		if len(findings) > 0 {
+			fmt.Printf("bess-vet: %d finding(s)\n", len(findings))
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Printf("bess-vet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }
@@ -80,7 +128,10 @@ func run(dir string, patterns []string, only string) ([]finding, error) {
 
 	enabled := map[string]bool{}
 	if only == "" {
-		enabled = map[string]bool{"lockorder": true, "durability": true, "guarded": true, "defers": true}
+		enabled = map[string]bool{
+			"lockorder": true, "durability": true, "guarded": true, "defers": true,
+			"poollife": true, "atomicmix": true, "codecsym": true,
+		}
 	} else {
 		for _, a := range strings.Split(only, ",") {
 			enabled[strings.TrimSpace(a)] = true
@@ -99,6 +150,15 @@ func run(dir string, patterns []string, only string) ([]finding, error) {
 	}
 	if enabled["durability"] {
 		analyzeDurability(pkgs, r)
+	}
+	if enabled["poollife"] {
+		analyzePoolLife(pkgs, dirs, r)
+	}
+	if enabled["atomicmix"] {
+		analyzeAtomicMix(pkgs, dirs, r)
+	}
+	if enabled["codecsym"] {
+		analyzeCodecSym(pkgs, dirs, r)
 	}
 	return r.sorted(), nil
 }

@@ -1,0 +1,1096 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// poollife tracks the acquire/release pairs declared by //bess:resource
+// through every function, path-sensitively (the same branch-forking shape as
+// the lock-flow walker) and interprocedurally (callee parameter summaries:
+// a callee that forwards its parameter to the release function releases it
+// for the caller; one that stores or returns it takes ownership).
+//
+// Owned mode (default) checks, per path:
+//   - use-after-release and double-release,
+//   - release missing on one branch of a merge (the error-path-leak class),
+//   - a live value at a return or the end of the function (leak),
+//   - escapes into struct fields (other than declared sinks), composite
+//     literals, channels, and goroutines.
+//
+// Pinned mode (segment pins, mmap mappings) checks only double-release and
+// use-after-release: pins legitimately outlive the acquiring function.
+//
+// Known holes, on purpose: values captured by closures are not tracked (the
+// closure body is walked with a fresh state), and interface calls are
+// borrows. The analyzer is tuned to stay false-positive-free on real code.
+
+type resStatus int
+
+const (
+	resLive     resStatus = iota
+	resReleased           // released; further use or release is a bug
+	resGone               // ownership transferred (sink, consume, return)
+)
+
+// resSlot is one tracked resource value on one path.
+type resSlot struct {
+	decl     *resourceDecl
+	names    map[string]bool // aliases currently holding the value
+	status   resStatus
+	deferred bool // a deferred release covers every exit
+	acqPos   token.Pos
+	relPos   token.Pos
+	reported bool // one use-after-release report per slot
+}
+
+func (s *resSlot) copy() *resSlot {
+	c := *s
+	c.names = make(map[string]bool, len(s.names))
+	for k := range s.names {
+		c.names[k] = true
+	}
+	return &c
+}
+
+type rstate struct {
+	slots   []*resSlot
+	relKeys map[string]token.Pos // arg-keyed pairs: released key -> where
+}
+
+func newRstate() *rstate {
+	return &rstate{relKeys: make(map[string]token.Pos)}
+}
+
+func (st *rstate) copy() *rstate {
+	c := &rstate{
+		slots:   make([]*resSlot, len(st.slots)),
+		relKeys: make(map[string]token.Pos, len(st.relKeys)),
+	}
+	for i, s := range st.slots {
+		c.slots[i] = s.copy()
+	}
+	for k, v := range st.relKeys {
+		c.relKeys[k] = v
+	}
+	return c
+}
+
+func (st *rstate) find(name string) *resSlot {
+	if name == "" || name == "_" {
+		return nil
+	}
+	for i := len(st.slots) - 1; i >= 0; i-- {
+		if st.slots[i].names[name] {
+			return st.slots[i]
+		}
+	}
+	return nil
+}
+
+// dropName severs an alias: the variable was reassigned to something else.
+func (st *rstate) dropName(name string) {
+	for _, s := range st.slots {
+		delete(s.names, name)
+	}
+}
+
+// paramEffect classifies what a callee does with one parameter.
+type paramEffect int
+
+const (
+	effBorrow  paramEffect = iota // reads it; caller keeps ownership
+	effRelease                    // forwards it to the release function
+	effConsume                    // stores or returns it; callee owns it now
+)
+
+type funcDef struct {
+	decl *ast.FuncDecl
+	p    *pkg
+}
+
+// poolAnalysis is the shared interprocedural context.
+type poolAnalysis struct {
+	dirs *directives
+	r    *reporter
+	fset *token.FileSet
+
+	defs map[*types.Func]*funcDef
+
+	effects    map[*types.Func][]paramEffect
+	effectsWIP map[*types.Func]bool
+	wrappers   map[*types.Func]*resourceDecl
+	wrapperWIP map[*types.Func]bool
+
+	seen map[string]bool // finding dedupe: file:line
+}
+
+func analyzePoolLife(pkgs []*pkg, dirs *directives, r *reporter) {
+	if len(dirs.resources) == 0 {
+		return
+	}
+	a := &poolAnalysis{
+		dirs:       dirs,
+		r:          r,
+		defs:       make(map[*types.Func]*funcDef),
+		effects:    make(map[*types.Func][]paramEffect),
+		effectsWIP: make(map[*types.Func]bool),
+		wrappers:   make(map[*types.Func]*resourceDecl),
+		wrapperWIP: make(map[*types.Func]bool),
+		seen:       make(map[string]bool),
+	}
+	for _, p := range pkgs {
+		a.fset = p.fset
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj, ok := p.info.Defs[fd.Name].(*types.Func); ok {
+						a.defs[obj] = &funcDef{decl: fd, p: p}
+					}
+				}
+			}
+		}
+	}
+	for _, p := range pkgs {
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, _ := p.info.Defs[fd.Name].(*types.Func)
+				if obj != nil && a.isPrimitive(obj) {
+					continue // the acquire/release functions themselves
+				}
+				w := &rwalk{a: a, p: p}
+				st := newRstate()
+				if !w.walkBlock(fd.Body, st) {
+					w.exitCheck(fd.Body.End(), st)
+				}
+			}
+		}
+	}
+}
+
+// isPrimitive reports whether fn is a declared acquire or release function.
+func (a *poolAnalysis) isPrimitive(fn *types.Func) bool {
+	for _, d := range a.dirs.resources {
+		if fn == d.acquire || fn == d.release {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *poolAnalysis) acquireDecl(fn *types.Func) *resourceDecl {
+	for _, d := range a.dirs.resources {
+		if fn == d.acquire && !d.argKeyed {
+			return d
+		}
+	}
+	return a.wrapper(fn)
+}
+
+func (a *poolAnalysis) releaseDecl(fn *types.Func) *resourceDecl {
+	for _, d := range a.dirs.resources {
+		if fn == d.release {
+			return d
+		}
+	}
+	return nil
+}
+
+// wrapper reports whether fn returns a freshly acquired resource as its
+// first result (newBuf-style constructor wrappers). Memoized; cycles break
+// to nil.
+func (a *poolAnalysis) wrapper(fn *types.Func) *resourceDecl {
+	if fn == nil {
+		return nil
+	}
+	if d, ok := a.wrappers[fn]; ok {
+		return d
+	}
+	if a.wrapperWIP[fn] {
+		return nil
+	}
+	def := a.defs[fn]
+	if def == nil || a.isPrimitive(fn) {
+		a.wrappers[fn] = nil
+		return nil
+	}
+	a.wrapperWIP[fn] = true
+	defer delete(a.wrapperWIP, fn)
+
+	acquired := map[types.Object]*resourceDecl{}
+	var found *resourceDecl
+	ast.Inspect(def.decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+					if d := a.acquireDecl(calleeOf(def.p, call)); d != nil && len(s.Lhs) > 0 {
+						if id, ok := s.Lhs[0].(*ast.Ident); ok {
+							if obj := def.p.info.Defs[id]; obj != nil {
+								acquired[obj] = d
+							} else if obj := def.p.info.Uses[id]; obj != nil {
+								acquired[obj] = d
+							}
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if len(s.Results) == 0 {
+				return true
+			}
+			switch e := s.Results[0].(type) {
+			case *ast.CallExpr:
+				if d := a.acquireDecl(calleeOf(def.p, e)); d != nil {
+					found = d
+				}
+			case *ast.Ident:
+				if d := acquired[def.p.info.Uses[e]]; d != nil {
+					found = d
+				}
+			}
+		}
+		return true
+	})
+	a.wrappers[fn] = found
+	return found
+}
+
+// paramEffects computes per-parameter summaries for a module function.
+// Missing bodies (stdlib, interfaces) yield nil: every parameter borrows.
+func (a *poolAnalysis) paramEffects(fn *types.Func) []paramEffect {
+	if fn == nil {
+		return nil
+	}
+	if eff, ok := a.effects[fn]; ok {
+		return eff
+	}
+	if a.effectsWIP[fn] {
+		return nil
+	}
+	def := a.defs[fn]
+	if def == nil || a.isPrimitive(fn) {
+		a.effects[fn] = nil
+		return nil
+	}
+	a.effectsWIP[fn] = true
+	defer delete(a.effectsWIP, fn)
+
+	sig := fn.Type().(*types.Signature)
+	eff := make([]paramEffect, sig.Params().Len())
+	paramIdx := map[types.Object]int{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramIdx[sig.Params().At(i)] = i
+	}
+	upgrade := func(i int, e paramEffect) {
+		if i >= 0 && i < len(eff) && e > eff[i] {
+			eff[i] = e
+		}
+	}
+	classify := func(e ast.Expr) int {
+		if obj := baseIdentObj(def.p, e); obj != nil {
+			if i, ok := paramIdx[obj]; ok {
+				return i
+			}
+		}
+		return -1
+	}
+	ast.Inspect(def.decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			callee := calleeOf(def.p, s)
+			rel := a.releaseDecl(callee)
+			var sub []paramEffect
+			if rel == nil {
+				sub = a.paramEffects(callee)
+			}
+			for i, arg := range s.Args {
+				pi := classify(arg)
+				if pi < 0 {
+					continue
+				}
+				switch {
+				case rel != nil && i == 0 && !rel.argKeyed:
+					upgrade(pi, effRelease)
+				case i < len(sub) && sub[i] == effRelease:
+					upgrade(pi, effRelease)
+				case i < len(sub) && sub[i] == effConsume:
+					upgrade(pi, effConsume)
+				}
+			}
+		case *ast.AssignStmt:
+			for li, l := range s.Lhs {
+				switch l.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					if li < len(s.Rhs) {
+						if pi := classify(s.Rhs[li]); pi >= 0 {
+							upgrade(pi, effConsume)
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if pi := classify(r); pi >= 0 {
+					upgrade(pi, effConsume)
+				}
+			}
+		case *ast.SendStmt:
+			if pi := classify(s.Value); pi >= 0 {
+				upgrade(pi, effConsume)
+			}
+		case *ast.GoStmt:
+			for _, arg := range s.Call.Args {
+				if pi := classify(arg); pi >= 0 {
+					upgrade(pi, effConsume)
+				}
+			}
+		}
+		return true
+	})
+	a.effects[fn] = eff
+	return eff
+}
+
+func (a *poolAnalysis) reportOnce(pos token.Pos, format string, args ...any) {
+	p := a.fset.Position(pos)
+	key := p.Filename + ":" + itoa(p.Line)
+	if a.seen[key] {
+		return
+	}
+	a.seen[key] = true
+	a.r.report(pos, "poollife", format, args...)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// calleeOf resolves a call expression to its *types.Func, if static.
+func calleeOf(p *pkg, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = p.info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = p.info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// baseIdentObj unwraps &x, *x, (x), x[i], x[:] down to x's object.
+func baseIdentObj(p *pkg, e ast.Expr) types.Object {
+	for {
+		switch n := e.(type) {
+		case *ast.Ident:
+			if o := p.info.Uses[n]; o != nil {
+				return o
+			}
+			return p.info.Defs[n]
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return nil
+			}
+			e = n.X
+		case *ast.StarExpr:
+			e = n.X
+		case *ast.ParenExpr:
+			e = n.X
+		case *ast.SliceExpr:
+			e = n.X
+		case *ast.IndexExpr:
+			e = n.X
+		default:
+			return nil
+		}
+	}
+}
+
+// baseIdentName unwraps the same forms down to the identifier's name.
+func baseIdentName(e ast.Expr) string {
+	for {
+		switch n := e.(type) {
+		case *ast.Ident:
+			return n.Name
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return ""
+			}
+			e = n.X
+		case *ast.StarExpr:
+			e = n.X
+		case *ast.ParenExpr:
+			e = n.X
+		case *ast.SliceExpr:
+			e = n.X
+		case *ast.IndexExpr:
+			e = n.X
+		default:
+			return ""
+		}
+	}
+}
+
+// rwalk walks one function body, forking state at branches.
+type rwalk struct {
+	a *poolAnalysis
+	p *pkg
+}
+
+func (w *rwalk) walkBlock(b *ast.BlockStmt, st *rstate) bool {
+	for _, s := range b.List {
+		if w.walkStmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// exitCheck reports owned values still live at a function exit.
+func (w *rwalk) exitCheck(pos token.Pos, st *rstate) {
+	for _, s := range st.slots {
+		if s.status == resLive && !s.deferred && !s.decl.pinned {
+			w.a.reportOnce(pos,
+				"%s value acquired at %s is not released on this path (missing %s)",
+				s.decl.name, w.a.fset.Position(s.acqPos), s.decl.release.Name())
+		}
+	}
+}
+
+// useCheck flags a read of a released value.
+func (w *rwalk) useCheck(name string, pos token.Pos, st *rstate) {
+	s := st.find(name)
+	if s == nil || s.reported || s.status != resReleased {
+		return
+	}
+	s.reported = true
+	w.a.reportOnce(pos,
+		"use of %s value %q after it was released at %s",
+		s.decl.name, name, w.a.fset.Position(s.relPos))
+}
+
+// escape reports an owned value leaking somewhere the pool cannot see.
+func (w *rwalk) escape(s *resSlot, pos token.Pos, how string) {
+	if s.decl.pinned {
+		s.status = resGone
+		return
+	}
+	w.a.reportOnce(pos,
+		"%s value escapes into %s; the pool can no longer recycle it safely",
+		s.decl.name, how)
+	s.status = resGone
+}
+
+// applyRelease marks a slot released, reporting double releases.
+func (w *rwalk) applyRelease(s *resSlot, pos token.Pos, st *rstate) {
+	switch {
+	case s.status == resReleased:
+		w.a.reportOnce(pos,
+			"%s value released again; first released at %s",
+			s.decl.name, w.a.fset.Position(s.relPos))
+	case s.deferred:
+		w.a.reportOnce(pos,
+			"%s value released explicitly although a deferred release already covers it",
+			s.decl.name)
+	default:
+		s.status = resReleased
+		s.relPos = pos
+	}
+}
+
+// scanExpr walks an expression, applying call effects and use checks.
+// retain names a variable whose ownership round-trips through the call on
+// this assignment (`*bp = appendFrame((*bp)[:0], f)`): it is borrowed, not
+// consumed.
+func (w *rwalk) scanExpr(e ast.Expr, st *rstate, retain string) {
+	switch n := e.(type) {
+	case nil:
+		return
+	case *ast.CallExpr:
+		w.scanCall(n, st, retain, false)
+	case *ast.Ident:
+		w.useCheck(n.Name, n.Pos(), st)
+	case *ast.UnaryExpr:
+		w.scanExpr(n.X, st, retain)
+	case *ast.StarExpr:
+		w.scanExpr(n.X, st, retain)
+	case *ast.ParenExpr:
+		w.scanExpr(n.X, st, retain)
+	case *ast.SelectorExpr:
+		w.scanExpr(n.X, st, retain)
+	case *ast.IndexExpr:
+		w.scanExpr(n.X, st, retain)
+		w.scanExpr(n.Index, st, retain)
+	case *ast.SliceExpr:
+		w.scanExpr(n.X, st, retain)
+		w.scanExpr(n.Low, st, retain)
+		w.scanExpr(n.High, st, retain)
+		w.scanExpr(n.Max, st, retain)
+	case *ast.BinaryExpr:
+		w.scanExpr(n.X, st, retain)
+		w.scanExpr(n.Y, st, retain)
+	case *ast.TypeAssertExpr:
+		w.scanExpr(n.X, st, retain)
+	case *ast.CompositeLit:
+		for _, el := range n.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if s := st.find(baseIdentName(v)); s != nil && s.status == resLive {
+				w.escape(s, v.Pos(), "a composite literal")
+				continue
+			}
+			w.scanExpr(v, st, retain)
+		}
+	case *ast.FuncLit:
+		// Closures run in their own dynamic context; captured resources are
+		// out of scope for this analysis (documented hole).
+		sub := newRstate()
+		if !w.walkBlock(n.Body, sub) {
+			w.exitCheck(n.Body.End(), sub)
+		}
+	}
+}
+
+// scanCall applies acquire/release/consume semantics of one call.
+// topAssigned is true when the call is the sole RHS of an assignment (its
+// acquired result is tracked by the caller of scanCall).
+func (w *rwalk) scanCall(call *ast.CallExpr, st *rstate, retain string, topAssigned bool) {
+	callee := calleeOf(w.p, call)
+	relDecl := w.a.releaseDecl(callee)
+	var sub []paramEffect
+	if relDecl == nil {
+		sub = w.a.paramEffects(callee)
+	}
+	for i, arg := range call.Args {
+		name := baseIdentName(arg)
+		spread := call.Ellipsis.IsValid() && i == len(call.Args)-1
+		s := st.find(name)
+		switch {
+		case relDecl != nil && i == 0 && !relDecl.argKeyed:
+			if s != nil {
+				w.applyRelease(s, call.Pos(), st)
+				continue
+			}
+			// Releasing an untracked value: nothing to say (the walker loses
+			// track through consuming helpers by design).
+		case relDecl != nil && i == 0 && relDecl.argKeyed:
+			key := render(arg)
+			if key != "" {
+				if prev, ok := st.relKeys[key]; ok {
+					w.a.reportOnce(call.Pos(),
+						"%s released twice for %q; first released at %s",
+						relDecl.name, key, w.a.fset.Position(prev))
+				} else {
+					st.relKeys[key] = call.Pos()
+				}
+			}
+		case s != nil && s.status == resLive && !spread && name != retain:
+			eff := effBorrow
+			if i < len(sub) {
+				eff = sub[i]
+			}
+			switch eff {
+			case effRelease:
+				w.applyRelease(s, call.Pos(), st)
+				continue
+			case effConsume:
+				s.status = resGone
+				continue
+			}
+		}
+		w.scanExpr(arg, st, retain)
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		w.scanExpr(sel.X, st, retain)
+	}
+	// An acquire whose result is discarded leaks immediately.
+	if !topAssigned {
+		if d := w.a.acquireDecl(callee); d != nil && !d.pinned {
+			w.a.reportOnce(call.Pos(),
+				"result of %s is discarded; the %s value can never be released",
+				d.acquire.Name(), d.name)
+		}
+	}
+}
+
+func (w *rwalk) walkStmt(s ast.Stmt, st *rstate) bool {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := n.X.(*ast.CallExpr); ok && callTerminatesStatic(call) {
+			w.scanExpr(n.X, st, "")
+			return true
+		}
+		w.scanExpr(n.X, st, "")
+	case *ast.AssignStmt:
+		w.walkAssign(n, st)
+	case *ast.IncDecStmt:
+		w.scanExpr(n.X, st, "")
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.scanExpr(v, st, "")
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		w.walkDefer(n, st)
+	case *ast.GoStmt:
+		for _, arg := range n.Call.Args {
+			if sl := st.find(baseIdentName(arg)); sl != nil && sl.status == resLive {
+				w.escape(sl, arg.Pos(), "a goroutine")
+				continue
+			}
+			w.scanExpr(arg, st, "")
+		}
+		if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			sub := newRstate()
+			if !w.walkBlock(fl.Body, sub) {
+				w.exitCheck(fl.Body.End(), sub)
+			}
+		}
+	case *ast.SendStmt:
+		w.scanExpr(n.Chan, st, "")
+		if sl := st.find(baseIdentName(n.Value)); sl != nil && sl.status == resLive {
+			w.escape(sl, n.Value.Pos(), "a channel")
+		} else {
+			w.scanExpr(n.Value, st, "")
+		}
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if sl := st.find(baseIdentName(r)); sl != nil && sl.status == resLive {
+				sl.status = resGone // ownership moves to the caller
+				continue
+			}
+			if call, ok := r.(*ast.CallExpr); ok {
+				// A returned acquire result transfers to the caller.
+				w.scanCall(call, st, "", true)
+				continue
+			}
+			w.scanExpr(r, st, "")
+		}
+		w.exitCheck(n.Pos(), st)
+		return true
+	case *ast.BranchStmt:
+		return true
+	case *ast.BlockStmt:
+		return w.walkBlock(n, st)
+	case *ast.IfStmt:
+		return w.walkIf(n, st)
+	case *ast.ForStmt:
+		if n.Init != nil {
+			w.walkStmt(n.Init, st)
+		}
+		w.scanExpr(n.Cond, st, "")
+		w.walkLoopBody(n.Body, st)
+	case *ast.RangeStmt:
+		w.scanExpr(n.X, st, "")
+		w.walkLoopBody(n.Body, st)
+	case *ast.SwitchStmt:
+		if n.Init != nil {
+			w.walkStmt(n.Init, st)
+		}
+		w.scanExpr(n.Tag, st, "")
+		return w.walkCases(n.Body, st, true)
+	case *ast.TypeSwitchStmt:
+		if n.Init != nil {
+			w.walkStmt(n.Init, st)
+		}
+		w.walkStmt(n.Assign, st)
+		return w.walkCases(n.Body, st, true)
+	case *ast.SelectStmt:
+		return w.walkCases(n.Body, st, false)
+	case *ast.LabeledStmt:
+		return w.walkStmt(n.Stmt, st)
+	}
+	return false
+}
+
+// callTerminatesStatic mirrors flow.callTerminates without a receiver.
+func callTerminatesStatic(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if name == "Exit" || name == "Goexit" || len(name) > 5 && name[:5] == "Fatal" {
+			if id, ok := fun.X.(*ast.Ident); ok {
+				switch id.Name {
+				case "os", "runtime", "log", "t", "b", "tb":
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (w *rwalk) walkAssign(n *ast.AssignStmt, st *rstate) {
+	// Ownership round-trip: `x = f(x, ...)` / `*x = f((*x)[:0], ...)` keeps
+	// the caller the owner even when f's summary says consume.
+	retain := ""
+	if len(n.Rhs) == 1 {
+		if _, ok := n.Rhs[0].(*ast.CallExpr); ok && len(n.Lhs) > 0 {
+			if name := baseIdentName(n.Lhs[0]); name != "" && st.find(name) != nil {
+				retain = name
+			}
+		}
+	}
+
+	// Scan the RHS with call effects applied.
+	for _, r := range n.Rhs {
+		if call, ok := r.(*ast.CallExpr); ok && len(n.Rhs) == 1 {
+			w.scanCall(call, st, retain, true)
+			continue
+		}
+		w.scanExpr(r, st, retain)
+	}
+
+	// LHS bookkeeping, done before new tracking so `bp = getBuf()` first
+	// severs the old alias, then tracks the new value.
+	for li, l := range n.Lhs {
+		switch lhs := l.(type) {
+		case *ast.Ident:
+			if lhs.Name != "_" {
+				// Keep the alias when the RHS round-trips ownership.
+				if lhs.Name != retain {
+					st.dropName(lhs.Name)
+				}
+			}
+		case *ast.SelectorExpr:
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[li]
+			} else if len(n.Rhs) == 1 {
+				rhs = n.Rhs[0]
+			}
+			if sl := st.find(baseIdentName(rhs)); sl != nil && sl.status == resLive {
+				if fv := w.fieldOf(lhs); fv != nil && sl.decl.sinks[fv] {
+					sl.status = resGone // declared sink: ownership handed over
+				} else {
+					w.escape(sl, n.Pos(), "struct field "+render(lhs))
+				}
+				continue
+			}
+			w.scanExpr(lhs.X, st, "")
+		case *ast.IndexExpr:
+			var rhs ast.Expr
+			if len(n.Rhs) == len(n.Lhs) {
+				rhs = n.Rhs[li]
+			}
+			if sl := st.find(baseIdentName(rhs)); sl != nil && sl.status == resLive {
+				w.escape(sl, n.Pos(), "a map or slice element")
+				continue
+			}
+			w.scanExpr(lhs.X, st, "")
+			w.scanExpr(lhs.Index, st, "")
+		case *ast.StarExpr:
+			// Writing through the pointer mutates the resource, not the
+			// tracking.
+		}
+	}
+
+	// New tracking from the RHS.
+	if len(n.Rhs) != 1 || len(n.Lhs) == 0 {
+		return
+	}
+	lhs0, ok := n.Lhs[0].(*ast.Ident)
+	if !ok || lhs0.Name == "_" {
+		return
+	}
+	switch r := n.Rhs[0].(type) {
+	case *ast.CallExpr:
+		if d := w.a.acquireDecl(calleeOf(w.p, r)); d != nil {
+			st.slots = append(st.slots, &resSlot{
+				decl:   d,
+				names:  map[string]bool{lhs0.Name: true},
+				acqPos: n.Pos(),
+			})
+		}
+	case *ast.SelectorExpr:
+		// Reading a declared sink re-establishes ownership (the flush path
+		// detaches the coalescing buffer and must recycle it).
+		if fv := w.fieldOf(r); fv != nil {
+			for _, d := range w.a.dirs.resources {
+				if d.sinks[fv] {
+					st.slots = append(st.slots, &resSlot{
+						decl:   d,
+						names:  map[string]bool{lhs0.Name: true},
+						acqPos: n.Pos(),
+					})
+					break
+				}
+			}
+		}
+	case *ast.Ident:
+		if sl := st.find(r.Name); sl != nil {
+			sl.names[lhs0.Name] = true
+		}
+	}
+}
+
+func (w *rwalk) fieldOf(sel *ast.SelectorExpr) *types.Var {
+	if s, ok := w.p.info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func (w *rwalk) walkDefer(n *ast.DeferStmt, st *rstate) {
+	callee := calleeOf(w.p, n.Call)
+	relDecl := w.a.releaseDecl(callee)
+	if relDecl == nil {
+		if eff := w.a.paramEffects(callee); len(eff) > 0 {
+			for i, arg := range n.Call.Args {
+				if i < len(eff) && eff[i] == effRelease {
+					if sl := st.find(baseIdentName(arg)); sl != nil {
+						w.markDeferred(sl, n.Pos())
+						return
+					}
+				}
+			}
+		}
+		if fl, ok := n.Call.Fun.(*ast.FuncLit); ok {
+			// A deferred closure that releases counts as a deferred release.
+			ast.Inspect(fl.Body, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if rd := w.a.releaseDecl(calleeOf(w.p, call)); rd != nil && len(call.Args) > 0 {
+					if sl := st.find(baseIdentName(call.Args[0])); sl != nil {
+						w.markDeferred(sl, call.Pos())
+					}
+				}
+				return true
+			})
+			return
+		}
+		for _, arg := range n.Call.Args {
+			w.scanExpr(arg, st, "")
+		}
+		return
+	}
+	if relDecl.argKeyed {
+		return // deferred Unmap: nothing path-sensitive to track
+	}
+	if len(n.Call.Args) > 0 {
+		if sl := st.find(baseIdentName(n.Call.Args[0])); sl != nil {
+			w.markDeferred(sl, n.Pos())
+		}
+	}
+}
+
+func (w *rwalk) markDeferred(sl *resSlot, pos token.Pos) {
+	if sl.status == resReleased {
+		w.a.reportOnce(pos,
+			"%s value already released at %s; the deferred release will run it again",
+			sl.decl.name, w.a.fset.Position(sl.relPos))
+		return
+	}
+	sl.deferred = true
+}
+
+func (w *rwalk) walkIf(n *ast.IfStmt, st *rstate) bool {
+	if n.Init != nil {
+		w.walkStmt(n.Init, st)
+	}
+	w.scanExpr(n.Cond, st, "")
+	thenSt := st.copy()
+	elseSt := st.copy()
+	tTerm := w.walkBlock(n.Body, thenSt)
+	eTerm := false
+	if n.Else != nil {
+		eTerm = w.walkStmt(n.Else, elseSt)
+	}
+	switch {
+	case tTerm && eTerm:
+		return true
+	case tTerm:
+		*st = *elseSt
+	case eTerm:
+		*st = *thenSt
+	default:
+		*st = *w.mergeStates(n.End(), thenSt, elseSt)
+	}
+	return false
+}
+
+// mergeStates joins two branch states, reporting release imbalances: a value
+// released on one path but live on the other is the release-missing-on-
+// error-path bug class.
+func (w *rwalk) mergeStates(pos token.Pos, a, b *rstate) *rstate {
+	out := newRstate()
+	matched := map[*resSlot]bool{}
+	for _, sa := range a.slots {
+		var sb *resSlot
+		for _, cand := range b.slots {
+			if cand.acqPos == sa.acqPos {
+				sb = cand
+				break
+			}
+		}
+		if sb == nil {
+			w.mergeLone(pos, sa, out)
+			continue
+		}
+		matched[sb] = true
+		m := sa.copy()
+		for k := range sb.names {
+			m.names[k] = true
+		}
+		m.deferred = sa.deferred && sb.deferred
+		switch {
+		case sa.status == sb.status:
+			// agree
+		case (sa.status == resLive && sb.status == resReleased) ||
+			(sa.status == resReleased && sb.status == resLive):
+			if !sa.decl.pinned && !m.deferred {
+				w.a.reportOnce(pos,
+					"%s value released on one branch path but not the other reaching this point",
+					sa.decl.name)
+			}
+			m.status = resReleased
+			m.relPos = sa.relPos
+			if sb.status == resReleased {
+				m.relPos = sb.relPos
+			}
+		default:
+			// live vs gone, released vs gone: ownership left on one path;
+			// stop tracking rather than guess.
+			m.status = resGone
+		}
+		out.slots = append(out.slots, m)
+	}
+	for _, sb := range b.slots {
+		if !matched[sb] {
+			w.mergeLone(pos, sb, out)
+		}
+	}
+	// Arg-keyed releases merge by intersection: only keys released on every
+	// path count toward double-release detection.
+	for k, p := range a.relKeys {
+		if _, ok := b.relKeys[k]; ok {
+			out.relKeys[k] = p
+		}
+	}
+	return out
+}
+
+// mergeLone handles a slot acquired inside only one branch.
+func (w *rwalk) mergeLone(pos token.Pos, s *resSlot, out *rstate) {
+	if s.status == resLive && !s.deferred && !s.decl.pinned {
+		w.a.reportOnce(pos,
+			"%s value acquired at %s inside a branch is not released before the merge",
+			s.decl.name, w.a.fset.Position(s.acqPos))
+		return
+	}
+	if s.status == resLive {
+		out.slots = append(out.slots, s.copy())
+	}
+}
+
+// walkLoopBody walks a loop body once on a forked state, then reports owned
+// values acquired inside the body that are still live when it ends, and
+// adopts releases of pre-existing values (one-or-more-iterations view).
+func (w *rwalk) walkLoopBody(body *ast.BlockStmt, st *rstate) {
+	sub := st.copy()
+	term := w.walkBlock(body, sub)
+	if !term {
+		for _, s := range sub.slots {
+			pre := false
+			for _, p := range st.slots {
+				if p.acqPos == s.acqPos {
+					pre = true
+					break
+				}
+			}
+			if !pre && s.status == resLive && !s.deferred && !s.decl.pinned {
+				w.a.reportOnce(body.End(),
+					"%s value acquired at %s is not released by the end of the loop body (leaks every iteration)",
+					s.decl.name, w.a.fset.Position(s.acqPos))
+			}
+		}
+	}
+	// Pre-existing values released or transferred inside the body stay that
+	// way (assume the loop runs; the zero-iteration leak is out of scope).
+	for _, p := range st.slots {
+		for _, s := range sub.slots {
+			if s.acqPos == p.acqPos && s.status != resLive {
+				p.status = s.status
+				p.relPos = s.relPos
+				break
+			}
+		}
+	}
+}
+
+func (w *rwalk) walkCases(body *ast.BlockStmt, st *rstate, implicitSkip bool) bool {
+	var survivors []*rstate
+	hasDefault := false
+	for _, cs := range body.List {
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				w.scanExpr(e, st, "")
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				w.walkStmt(c.Comm, st.copy())
+			} else {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		cst := st.copy()
+		term := false
+		for _, s := range stmts {
+			if w.walkStmt(s, cst) {
+				term = true
+				break
+			}
+		}
+		if !term {
+			survivors = append(survivors, cst)
+		}
+	}
+	if implicitSkip && !hasDefault {
+		survivors = append(survivors, st.copy())
+	}
+	if len(survivors) == 0 {
+		return len(body.List) > 0
+	}
+	merged := survivors[0]
+	for _, s := range survivors[1:] {
+		merged = w.mergeStates(body.End(), merged, s)
+	}
+	*st = *merged
+	return false
+}

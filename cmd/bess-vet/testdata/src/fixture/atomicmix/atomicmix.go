@@ -1,0 +1,72 @@
+// Package atomicmix reproduces mixed atomic/plain field access and the
+// 32-bit alignment trap for plain 64-bit fields used atomically.
+package atomicmix
+
+import "sync/atomic"
+
+// Counter's hits field is touched through sync/atomic, so every access must
+// be atomic — and the leading uint32 leaves it 4-aligned on 32-bit layouts.
+type Counter struct {
+	pad  uint32
+	hits int64 // want atomicmix
+}
+
+// Inc is the atomic access that taints the field.
+func (c *Counter) Inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+// Read loads the counter without the atomic package.
+func (c *Counter) Read() int64 {
+	return c.hits // want atomicmix
+}
+
+// Reset stores plainly next to the atomic adds.
+func (c *Counter) Reset() {
+	c.hits = 0 // want atomicmix
+}
+
+// NewCounter touches the field plainly before the value is shared: exempt.
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.hits = 0
+	return c
+}
+
+// resetForTest is declared prepublish: the caller guarantees exclusivity.
+//
+//bess:prepublish
+func resetForTest(c *Counter) {
+	c.hits = 0
+}
+
+// Aligned keeps the 64-bit field first and accesses it atomically
+// everywhere: clean.
+type Aligned struct {
+	hits int64
+	pad  uint32
+}
+
+func (a *Aligned) Inc() { atomic.AddInt64(&a.hits, 1) }
+
+func (a *Aligned) Load() int64 { return atomic.LoadInt64(&a.hits) }
+
+// Typed atomics carry their own atomicity and alignment: ignored.
+type Typed struct {
+	n atomic.Int64
+}
+
+func (t *Typed) Bump() int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+// total is a package-level counter used atomically.
+var total int64
+
+func AddTotal(n int64) { atomic.AddInt64(&total, n) }
+
+// TotalSnapshot reads the package counter plainly.
+func TotalSnapshot() int64 {
+	return total // want atomicmix
+}

@@ -1,0 +1,143 @@
+// Package codecsym reproduces wire-format asymmetries between hand-written
+// Append*/Decode* codec pairs.
+//
+//bess:codecsym
+package codecsym
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+var errBad = errors.New("bad encoding")
+
+// AppendPoint/DecodePoint agree: two big-endian words.
+func AppendPoint(b []byte, x, y uint32) []byte {
+	b = binary.BigEndian.AppendUint32(b, x)
+	return binary.BigEndian.AppendUint32(b, y)
+}
+
+func DecodePoint(b []byte) (x, y uint32, err error) {
+	if len(b) < 8 {
+		return 0, 0, errBad
+	}
+	x = binary.BigEndian.Uint32(b[0:4])
+	y = binary.BigEndian.Uint32(b[4:8])
+	return x, y, nil
+}
+
+// AppendTag writes a 32-bit tag.
+func AppendTag(b []byte, tag uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, tag)
+}
+
+// DecodeTag reads a narrower field than AppendTag wrote.
+func DecodeTag(b []byte) (uint16, error) { // want codecsym
+	if len(b) < 2 {
+		return 0, errBad
+	}
+	return binary.BigEndian.Uint16(b[0:2]), nil
+}
+
+// AppendHdr writes three half-words.
+func AppendHdr(b []byte, a, mid, z uint16) []byte {
+	b = binary.BigEndian.AppendUint16(b, a)
+	b = binary.BigEndian.AppendUint16(b, mid)
+	return binary.BigEndian.AppendUint16(b, z)
+}
+
+// DecodeHdr misses the third field.
+func DecodeHdr(b []byte) (uint16, uint16, error) { // want codecsym
+	if len(b) < 6 {
+		return 0, 0, errBad
+	}
+	return binary.BigEndian.Uint16(b[0:2]), binary.BigEndian.Uint16(b[2:4]), nil
+}
+
+// AppendMix writes the word, then the flag byte.
+func AppendMix(b []byte, n uint32, flag byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, n)
+	return append(b, flag)
+}
+
+// DecodeMix reads the byte before the word.
+func DecodeMix(b []byte) (uint32, byte, error) { // want codecsym
+	if len(b) < 5 {
+		return 0, 0, errBad
+	}
+	flag := b[0]
+	n := binary.BigEndian.Uint32(b[1:5])
+	return n, flag, nil
+}
+
+// AppendOrphan has no decoder: the wire format cannot be read back.
+func AppendOrphan(b []byte, v uint64) []byte { // want codecsym
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+// AppendFlag/DecodeFlag agree on both branches; the decoder's double read
+// of b[0] (validate, then convert) is one wire field, not two.
+func AppendFlag(b []byte, on bool) []byte {
+	if on {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func DecodeFlag(b []byte) (bool, error) {
+	if len(b) != 1 || b[0] > 1 {
+		return false, errBad
+	}
+	return b[0] == 1, nil
+}
+
+// appendSec/decodeSec: the length-prefixed section helpers.
+func appendSec(b, sec []byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(sec)))
+	return append(b, sec...)
+}
+
+func decodeSec(b []byte) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, errBad
+	}
+	n := int(binary.BigEndian.Uint32(b[0:4]))
+	rest := b[4:]
+	if n > len(rest) {
+		return nil, nil, errBad
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// AppendList/DecodeList agree through delegation and a dynamic repeat: a
+// count followed by that many sections.
+func AppendList(b []byte, items [][]byte) []byte {
+	b = binary.BigEndian.AppendUint32(b, uint32(len(items)))
+	for _, it := range items {
+		b = appendSec(b, it)
+	}
+	return b
+}
+
+func DecodeList(b []byte) ([][]byte, error) {
+	if len(b) < 4 {
+		return nil, errBad
+	}
+	n := binary.BigEndian.Uint32(b[0:4])
+	rest := b[4:]
+	items := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var sec []byte
+		var err error
+		sec, rest, err = decodeSec(rest)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, sec)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errBad, len(rest))
+	}
+	return items, nil
+}

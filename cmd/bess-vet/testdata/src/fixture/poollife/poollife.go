@@ -1,0 +1,219 @@
+// Package poollife reproduces pooled-buffer lifecycle bugs: releases missing
+// on error paths, double releases, use-after-release, and escapes that put a
+// recycled buffer beyond the pool's sight.
+//
+//bess:resource acquire=getBuf release=putBuf sink=Writer.pending
+package poollife
+
+import (
+	"errors"
+	"sync"
+)
+
+var pool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func getBuf() *[]byte { return pool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte) {
+	*bp = (*bp)[:0]
+	pool.Put(bp)
+}
+
+// Writer coalesces frames into a pooled buffer; pending is the declared
+// sink, stash is not.
+type Writer struct {
+	pending []byte
+	stash   *[]byte
+	out     chan *[]byte
+}
+
+func (w *Writer) write(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// SendOK releases on the single exit path.
+func (w *Writer) SendOK(msg []byte) error {
+	bp := getBuf()
+	*bp = append((*bp)[:0], msg...)
+	err := w.write(*bp)
+	putBuf(bp)
+	return err
+}
+
+// LeakOnError skips the release on the failure path.
+func (w *Writer) LeakOnError(msg []byte) error {
+	bp := getBuf()
+	*bp = append((*bp)[:0], msg...)
+	if err := w.write(*bp); err != nil {
+		return err // want poollife
+	}
+	putBuf(bp)
+	return nil
+}
+
+// DoubleFree releases the same buffer twice.
+func DoubleFree() {
+	bp := getBuf()
+	putBuf(bp)
+	putBuf(bp) // want poollife
+}
+
+// UseAfterFree reads the buffer after handing it back.
+func UseAfterFree() byte {
+	bp := getBuf()
+	*bp = append(*bp, 1)
+	putBuf(bp)
+	return (*bp)[0] // want poollife
+}
+
+// Stash parks the buffer in an undeclared field: the pool loses it.
+func (w *Writer) Stash() {
+	bp := getBuf()
+	w.stash = bp // want poollife
+}
+
+// SinkOK hands the buffer to the declared sink field.
+func (w *Writer) SinkOK() {
+	if w.pending == nil {
+		bp := getBuf()
+		w.pending = *bp
+	}
+	w.pending = append(w.pending, 0)
+}
+
+// SendChan pushes the buffer into a channel: another goroutine now owns it.
+func (w *Writer) SendChan() {
+	bp := getBuf()
+	w.out <- bp // want poollife
+}
+
+// HalfRelease frees on only one branch reaching the merge.
+func HalfRelease(ok bool) {
+	bp := getBuf()
+	if ok {
+		putBuf(bp)
+	} // want poollife
+}
+
+// DeferOK covers every exit with a deferred release.
+func DeferOK(msg []byte) error {
+	bp := getBuf()
+	defer putBuf(bp)
+	*bp = append((*bp)[:0], msg...)
+	if len(*bp) == 0 {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+// newBuf is an acquire wrapper: its caller owns the result.
+func newBuf() *[]byte { return getBuf() }
+
+// recycle forwards its parameter to the release: calling it releases.
+func recycle(bp *[]byte) { putBuf(bp) }
+
+// WrapperOK acquires and releases through the wrappers.
+func WrapperOK() {
+	bp := newBuf()
+	recycle(bp)
+}
+
+// WrapperLeak never releases the wrapped acquisition.
+func WrapperLeak() {
+	bp := newBuf()
+	_ = bp
+} // want poollife
+
+// FlushHalf detaches the sink buffer but recycles it only on success.
+func (w *Writer) FlushHalf() error {
+	buf := w.pending
+	w.pending = nil
+	if err := w.write(buf); err != nil {
+		return err // want poollife
+	}
+	putBuf(&buf)
+	return nil
+}
+
+// Pin-style pair: the acquire returns an index, and pins may legitimately
+// outlive the acquiring function — only double-release and use-after-release
+// are bugs.
+//
+//bess:resource acquire=Pool.Acquire release=Pool.Unpin mode=pinned
+type Pool struct{ pins map[int]int }
+
+func (p *Pool) Acquire(id int) (int, error) {
+	p.pins[id]++
+	return id, nil
+}
+
+func (p *Pool) Unpin(slot int) error {
+	p.pins[slot]--
+	return nil
+}
+
+// PinOK pins, covers the exit with a deferred unpin.
+func PinOK(p *Pool) error {
+	slot, err := p.Acquire(1)
+	if err != nil {
+		return err
+	}
+	defer p.Unpin(slot)
+	return nil
+}
+
+// PinEscapeOK returns the pinned slot to the caller: pins may outlive us.
+func PinEscapeOK(p *Pool) (int, error) {
+	return p.Acquire(2)
+}
+
+// PinDouble unpins the same slot twice.
+func PinDouble(p *Pool) {
+	slot, _ := p.Acquire(1)
+	_ = p.Unpin(slot)
+	_ = p.Unpin(slot) // want poollife
+}
+
+// PinUseAfter uses the slot index after unpinning it.
+func PinUseAfter(p *Pool) int {
+	slot, _ := p.Acquire(1)
+	_ = p.Unpin(slot)
+	return slot // want poollife
+}
+
+// Mapping pair keyed by the release argument: the acquire returns only an
+// error, so the analyzer tracks Unmap calls by their address expression.
+//
+//bess:resource acquire=Space.Map release=Space.Unmap mode=pinned
+type Space struct{ maps map[uint64]bool }
+
+func (s *Space) Map(addr uint64) error {
+	s.maps[addr] = true
+	return nil
+}
+
+func (s *Space) Unmap(addr uint64) error {
+	delete(s.maps, addr)
+	return nil
+}
+
+// DoubleUnmap releases the same address twice on one path.
+func DoubleUnmap(s *Space, addr uint64) {
+	_ = s.Map(addr)
+	_ = s.Unmap(addr)
+	_ = s.Unmap(addr) // want poollife
+}
+
+// UnmapBranchOK unmaps once on every path; the branch releases do not
+// combine into a false double-release.
+func UnmapBranchOK(s *Space, addr uint64, fail bool) error {
+	_ = s.Map(addr)
+	if fail {
+		_ = s.Unmap(addr)
+		return errors.New("fail")
+	}
+	return s.Unmap(addr)
+}

@@ -96,8 +96,52 @@ func TestAnalyzerSubset(t *testing.T) {
 	}
 }
 
+// TestCodecPairsPinned pins the set of Append*/Decode* pairs codecsym
+// registers in internal/proto. A new codec that fails to show up here was
+// named outside the Append|Encode/Decode convention and is invisible to the
+// symmetry check; an entry vanishing means a pair lost its directive opt-in
+// or was renamed apart.
+func TestCodecPairsPinned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks internal/proto")
+	}
+	modRoot, modPath, err := findModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := newLoader(modRoot, modPath)
+	pkgs, err := l.load([]string{"./internal/proto"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := newDirectives()
+	for _, p := range pkgs {
+		if err := dirs.collect(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	for _, pr := range pairCodecs(gatherCodecs(pkgs, dirs)) {
+		if pr.enc == nil || pr.dec == nil {
+			t.Errorf("pair %q is missing a side (enc=%v dec=%v)", pr.key, pr.enc != nil, pr.dec != nil)
+			continue
+		}
+		got = append(got, pr.key)
+	}
+	want := []string{
+		"callbackargs", "callbackreply", "commitargs",
+		"fetchargs", "fetchlargeargs", "fetchslottedreply",
+		"lockargs", "lockobjectargs",
+		"section", "segimage", "segkey",
+	}
+	sort.Strings(got)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("registered codec pairs changed:\n got: %v\nwant: %v\n(update the pinned list only after checking the new pair is symmetric)", got, want)
+	}
+}
+
 // TestRealTreeClean is the acceptance gate: the repository's own packages
-// must be clean under all four analyzers.
+// must be clean under all seven analyzers.
 func TestRealTreeClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and typechecks the whole module")

@@ -55,6 +55,8 @@ type Stats struct {
 
 // Pool is the shared cache: a fixed array of page-size slots plus the
 // level-2 clock. Safe for concurrent use.
+//
+//bess:resource acquire=Pool.Acquire release=Pool.Unpin mode=pinned
 type Pool struct {
 	mu sync.Mutex
 	// data is deliberately unguarded: SlotData hands out slices into the

@@ -20,6 +20,11 @@ import (
 // Replies that are a single byte string (FetchData, FetchLarge) travel as
 // the raw frame body with no wrapper at all; FetchSeg's reply reuses the
 // SegImage codec.
+//
+// bess-vet's codecsym analyzer checks every Append*/Encode*/Decode* pair in
+// this package for write/read symmetry (field count, order, width):
+//
+//bess:codecsym
 
 // ErrBadMessage reports bytes that are not a valid hot-method encoding.
 var ErrBadMessage = errors.New("proto: bad message encoding")

@@ -1,0 +1,206 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzMsgCodecRoundTrip drives every hot-method Append*/Decode* pair with
+// arbitrary bytes. Two properties per pair: the decoder never panics and,
+// when it accepts the input, re-encoding yields identical wire bytes (every
+// encoding is canonical); and arguments carved from the raw input survive
+// decode(encode(args)) == args.
+func FuzzMsgCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("definitely not a hot-method message"))
+	f.Add(AppendFetchArgs(nil, 7, SegKey{Area: 1, Start: 42}))
+	f.Add(AppendFetchLargeArgs(nil, 9, SegKey{Area: 2, Start: -1}, 3))
+	f.Add(AppendFetchSlottedReply(nil, []byte("slotted bytes"), []byte("ov")))
+	f.Add(AppendLockArgs(nil, 1, 2, SegKey{Area: 3, Start: 4}, LockMode(1)))
+	f.Add(AppendLockObjectArgs(nil, 1, 2, SegKey{Area: 3, Start: 4}, 5, LockMode(2)))
+	f.Add(AppendCommitArgs(nil, 5, 6, []SegImage{
+		{Seg: SegKey{Area: 1, Start: 2}, Slotted: []byte("s"), Data: []byte("data")},
+	}))
+	f.Add(AppendCallbackArgs(nil, SegKey{Area: 8, Start: 9}))
+	f.Add(AppendCallbackReply(nil, true))
+	// A commit frame cut mid-image: the count promises more than arrives.
+	commit := AppendCommitArgs(nil, 1, 2, []SegImage{{Seg: SegKey{Area: 4, Start: 5}, Data: []byte("xyz")}})
+	f.Add(commit[:len(commit)-3])
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		// Property 1: no decoder panics, and every accepted input is the
+		// canonical encoding of what it decoded to.
+		if seg, rest, err := decodeSegKey(wire); err == nil {
+			if got := append(appendSegKey(nil, seg), rest...); !bytes.Equal(got, wire) {
+				t.Fatalf("segkey not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if sec, rest, err := decodeSection(wire); err == nil {
+			if got := append(appendSection(nil, sec), rest...); !bytes.Equal(got, wire) {
+				t.Fatalf("section not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if client, seg, err := DecodeFetchArgs(wire); err == nil {
+			if got := AppendFetchArgs(nil, client, seg); !bytes.Equal(got, wire) {
+				t.Fatalf("fetchargs not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if client, seg, slot, err := DecodeFetchLargeArgs(wire); err == nil {
+			if got := AppendFetchLargeArgs(nil, client, seg, slot); !bytes.Equal(got, wire) {
+				t.Fatalf("fetchlargeargs not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if slotted, overflow, err := DecodeFetchSlottedReply(wire); err == nil {
+			if got := AppendFetchSlottedReply(nil, slotted, overflow); !bytes.Equal(got, wire) {
+				t.Fatalf("fetchslottedreply not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if client, tx, seg, mode, err := DecodeLockArgs(wire); err == nil {
+			if got := AppendLockArgs(nil, client, tx, seg, mode); !bytes.Equal(got, wire) {
+				t.Fatalf("lockargs not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if client, tx, seg, slot, mode, err := DecodeLockObjectArgs(wire); err == nil {
+			if got := AppendLockObjectArgs(nil, client, tx, seg, slot, mode); !bytes.Equal(got, wire) {
+				t.Fatalf("lockobjectargs not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if client, tx, segs, err := DecodeCommitArgs(wire); err == nil {
+			if got := AppendCommitArgs(nil, client, tx, segs); !bytes.Equal(got, wire) {
+				t.Fatalf("commitargs not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if seg, err := DecodeCallbackArgs(wire); err == nil {
+			if got := AppendCallbackArgs(nil, seg); !bytes.Equal(got, wire) {
+				t.Fatalf("callbackargs not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if refused, err := DecodeCallbackReply(wire); err == nil {
+			if got := AppendCallbackReply(nil, refused); !bytes.Equal(got, wire) {
+				t.Fatalf("callbackreply not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+
+		// Property 2: arguments derived from the raw input roundtrip through
+		// every pair. The fixed-width fields read from a zero-padded copy so
+		// short inputs still exercise the codecs.
+		n := len(wire)
+		p := append(append([]byte(nil), wire...), make([]byte, 32)...)
+		client := binary.BigEndian.Uint32(p[0:4])
+		tx := binary.BigEndian.Uint64(p[4:12])
+		seg := SegKey{
+			Area:  binary.BigEndian.Uint32(p[12:16]),
+			Start: int64(binary.BigEndian.Uint64(p[16:24])),
+		}
+		slot := int(int32(binary.BigEndian.Uint32(p[24:28])))
+		mode := LockMode(p[28])
+		refused := p[29]&1 == 1
+
+		if c, s, err := DecodeFetchArgs(AppendFetchArgs(nil, client, seg)); err != nil || c != client || s != seg {
+			t.Fatalf("fetchargs roundtrip: got (%d, %+v, %v) want (%d, %+v)", c, s, err, client, seg)
+		}
+		if c, s, sl, err := DecodeFetchLargeArgs(AppendFetchLargeArgs(nil, client, seg, slot)); err != nil || c != client || s != seg || sl != slot {
+			t.Fatalf("fetchlargeargs roundtrip: got (%d, %+v, %d, %v) want (%d, %+v, %d)", c, s, sl, err, client, seg, slot)
+		}
+		slotted, overflow := wire[:n/2], wire[n/2:]
+		if s, o, err := DecodeFetchSlottedReply(AppendFetchSlottedReply(nil, slotted, overflow)); err != nil || !sameBytes(s, slotted) || !sameBytes(o, overflow) {
+			t.Fatalf("fetchslottedreply roundtrip failed: %v", err)
+		}
+		if c, x, s, m, err := DecodeLockArgs(AppendLockArgs(nil, client, tx, seg, mode)); err != nil || c != client || x != tx || s != seg || m != mode {
+			t.Fatalf("lockargs roundtrip failed: %v", err)
+		}
+		if c, x, s, sl, m, err := DecodeLockObjectArgs(AppendLockObjectArgs(nil, client, tx, seg, slot, mode)); err != nil || c != client || x != tx || s != seg || sl != slot || m != mode {
+			t.Fatalf("lockobjectargs roundtrip failed: %v", err)
+		}
+		segs := []SegImage{
+			{Seg: seg, Slotted: wire[:n/3], Overflow: wire[n/3 : 2*n/3], Data: wire[2*n/3:]},
+			{Seg: SegKey{Area: client, Start: int64(tx)}},
+		}
+		c, x, got, err := DecodeCommitArgs(AppendCommitArgs(nil, client, tx, segs))
+		if err != nil || c != client || x != tx || len(got) != len(segs) {
+			t.Fatalf("commitargs roundtrip failed: %v", err)
+		}
+		for i := range segs {
+			if !imagesEqual(&segs[i], &got[i]) {
+				t.Fatalf("commitargs image %d mismatch: %+v vs %+v", i, segs[i], got[i])
+			}
+		}
+		if s, err := DecodeCallbackArgs(AppendCallbackArgs(nil, seg)); err != nil || s != seg {
+			t.Fatalf("callbackargs roundtrip failed: %v", err)
+		}
+		if r, err := DecodeCallbackReply(AppendCallbackReply(nil, refused)); err != nil || r != refused {
+			t.Fatalf("callbackreply roundtrip failed: %v", err)
+		}
+	})
+}
+
+// TestMsgCodecTruncation feeds every proper prefix of a valid encoding to the
+// matching decoder: each must return an error — never panic, never accept a
+// cut-off frame — and the untruncated encoding must still decode.
+func TestMsgCodecTruncation(t *testing.T) {
+	seg := SegKey{Area: 7, Start: 1 << 40}
+	img := SegImage{Seg: seg, Slotted: []byte("sl"), Overflow: []byte("ovfl"), Data: []byte("data bytes")}
+	cases := []struct {
+		name   string
+		enc    []byte
+		decode func([]byte) error
+	}{
+		{"segkey", appendSegKey(nil, seg), func(b []byte) error {
+			_, _, err := decodeSegKey(b)
+			return err
+		}},
+		{"section", appendSection(nil, []byte("abc")), func(b []byte) error {
+			_, _, err := decodeSection(b)
+			return err
+		}},
+		{"fetchargs", AppendFetchArgs(nil, 3, seg), func(b []byte) error {
+			_, _, err := DecodeFetchArgs(b)
+			return err
+		}},
+		{"fetchlargeargs", AppendFetchLargeArgs(nil, 3, seg, 11), func(b []byte) error {
+			_, _, _, err := DecodeFetchLargeArgs(b)
+			return err
+		}},
+		{"fetchslottedreply", AppendFetchSlottedReply(nil, []byte("slotted"), []byte("ov")), func(b []byte) error {
+			_, _, err := DecodeFetchSlottedReply(b)
+			return err
+		}},
+		{"lockargs", AppendLockArgs(nil, 3, 99, seg, LockMode(2)), func(b []byte) error {
+			_, _, _, _, err := DecodeLockArgs(b)
+			return err
+		}},
+		{"lockobjectargs", AppendLockObjectArgs(nil, 3, 99, seg, 11, LockMode(1)), func(b []byte) error {
+			_, _, _, _, _, err := DecodeLockObjectArgs(b)
+			return err
+		}},
+		{"commitargs", AppendCommitArgs(nil, 3, 99, []SegImage{img, {Seg: seg}}), func(b []byte) error {
+			_, _, _, err := DecodeCommitArgs(b)
+			return err
+		}},
+		{"callbackargs", AppendCallbackArgs(nil, seg), func(b []byte) error {
+			_, err := DecodeCallbackArgs(b)
+			return err
+		}},
+		{"callbackreply", AppendCallbackReply(nil, true), func(b []byte) error {
+			_, err := DecodeCallbackReply(b)
+			return err
+		}},
+		{"segimage", EncodeSegImage(&img), func(b []byte) error {
+			_, err := DecodeSegImage(b)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.decode(tc.enc); err != nil {
+				t.Fatalf("full %d-byte encoding failed to decode: %v", len(tc.enc), err)
+			}
+			for i := 0; i < len(tc.enc); i++ {
+				if err := tc.decode(tc.enc[:i:i]); err == nil {
+					t.Errorf("decode accepted a %d/%d-byte prefix", i, len(tc.enc))
+				}
+			}
+		})
+	}
+}

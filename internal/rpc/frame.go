@@ -217,6 +217,8 @@ func decodeFrame(b []byte) (frame, int, error) {
 
 // bufPool recycles frame-encode scratch and write-coalescing buffers; the
 // send path allocates nothing steady-state for small frames.
+//
+//bess:resource acquire=getBuf release=putBuf sink=Peer.pending
 var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
 
 // maxPooledBuf keeps one giant commit payload from pinning a huge buffer in

@@ -283,8 +283,10 @@ func (p *Peer) flushPending(seq uint64) error {
 		} else {
 			p.wflushed = top
 			p.flushes++
-			putBuf(&buf)
 		}
+		// The detached batch buffer is recycled on both outcomes: a failed
+		// connection must not leak one pooled buffer per peer.
+		putBuf(&buf)
 		p.wcond.Broadcast()
 	}
 	p.writing = false
