@@ -1,4 +1,4 @@
-// bess-bench runs the experiment harness (E1–E11 from DESIGN.md §4)
+// bess-bench runs the experiment harness (E1–E13 from DESIGN.md §4)
 // outside `go test` and prints one table per experiment — the rows recorded
 // in EXPERIMENTS.md.
 //
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E11)")
+	only := flag.String("only", "", "run a single experiment (E1..E13)")
 	quick := flag.Bool("quick", false, "smaller parameters (CI-sized)")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<name>.json result files")
 	flag.Parse()
@@ -66,6 +66,9 @@ func main() {
 	}
 	if want("E12") {
 		e12(*quick, *jsonOut)
+	}
+	if want("E13") {
+		e13(*quick, *jsonOut)
 	}
 }
 
@@ -299,5 +302,39 @@ func e12(quick bool, jsonOut bool) {
 	}
 	if jsonOut {
 		writeJSON("E12", report)
+	}
+}
+
+func e13(quick bool, jsonOut bool) {
+	header("E13", "crash-point enumeration — torn-write torture of recovery (§5)")
+	sample := 0 // full enumeration
+	if quick {
+		sample = 12
+	}
+	rep, err := bench.RunE13(42, sample)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bess-bench: E13: %v\n", err)
+		os.Exit(1)
+	}
+	scope := "full enumeration"
+	if rep.Sampled {
+		scope = "sampled"
+	}
+	fmt.Printf("crash points %d (%s, events %s), tear modes %d, trials %d\n",
+		rep.CrashPoints, scope, rep.WorkloadEvents, len(rep.Modes), rep.Trials)
+	for _, m := range rep.Modes {
+		fmt.Printf("  %-8s %4d trials   %4d consistent   %d inconsistent\n",
+			m.Mode, m.Trials, m.Consistent, m.Inconsistent)
+	}
+	fmt.Printf("recovery: mean %.0f us, max %.0f us; mean redo %.1f, mean undo %.1f per restart\n",
+		rep.MeanRecoverUs, rep.MaxRecoverUs, rep.MeanRedo, rep.MeanUndo)
+	if rep.Inconsistent > 0 {
+		fmt.Printf("FAILURES:\n")
+		for _, f := range rep.Failures {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	if jsonOut {
+		writeJSON("E13", rep)
 	}
 }

@@ -6,6 +6,11 @@
 // Usage:
 //
 //	bess-server -dir /var/bess -addr :4466 -host 1
+//
+// SIGINT/SIGTERM shuts down gracefully: stop accepting, disconnect peers
+// (aborting their in-flight transactions via the same path a dropped
+// connection takes), write a final checkpoint, and close the areas. A
+// second signal forces immediate exit.
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -25,6 +31,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:4466", "TCP listen address")
 	host := flag.Uint("host", 1, "host number embedded in OIDs (unique per server)")
 	ckptEvery := flag.Duration("checkpoint", time.Minute, "fuzzy checkpoint interval (0 disables)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown budget for peer teardown")
 	flag.Parse()
 
 	srv, err := server.Open(*dir, uint16(*host))
@@ -50,6 +57,13 @@ func main() {
 		}()
 	}
 
+	// Track live peers so shutdown can disconnect them and wait for their
+	// read loops (and thus their Disconnect-abort hooks) to finish.
+	var (
+		peerMu sync.Mutex
+		peers  = make(map[*rpc.Peer]struct{})
+		live   sync.WaitGroup
+	)
 	go func() {
 		for {
 			p, err := l.Accept()
@@ -57,16 +71,58 @@ func main() {
 				return
 			}
 			server.ServePeer(srv, p)
+			peerMu.Lock()
+			peers[p] = struct{}{}
+			peerMu.Unlock()
+			live.Add(1)
+			p.SetOnClose(func(error) {
+				peerMu.Lock()
+				delete(peers, p)
+				peerMu.Unlock()
+				live.Done()
+			})
 		}
 	}()
 
-	sig := make(chan os.Signal, 1)
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+	go func() {
+		<-sig
+		log.Fatalf("second signal: forcing exit")
+	}()
+
+	// Stop accepting, then disconnect every peer. Closing a peer runs its
+	// OnClose hook, which aborts the client's in-flight transactions —
+	// exactly what a dropped connection does, so no transaction is left
+	// holding locks.
 	if err := l.Close(); err != nil {
 		log.Printf("close listener: %v", err)
 	}
+	peerMu.Lock()
+	open := make([]*rpc.Peer, 0, len(peers))
+	for p := range peers {
+		open = append(open, p)
+	}
+	peerMu.Unlock()
+	for _, p := range open {
+		p.Close()
+	}
+	drained := make(chan struct{})
+	go func() { live.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(*drain):
+		log.Printf("drain budget (%v) exhausted with peers still live", *drain)
+	}
+
+	// A final checkpoint keeps the next restart's analysis pass short. Its
+	// failure is logged, not fatal: recovery works from any log suffix.
+	if err := srv.Checkpoint(); err != nil {
+		log.Printf("final checkpoint: %v", err)
+	}
+
 	st := srv.Snapshot()
 	log.Printf("served %d messages, %d commits, %d callbacks", st.Messages, st.Commits, st.Callbacks)
 	// The final close flushes the WAL; a failure here means the last

@@ -49,8 +49,10 @@ const (
 	version     = 1
 )
 
-// store abstracts the backing bytes of an area.
-type store interface {
+// Store abstracts the backing bytes of an area. Production areas run on
+// the file/mem implementations below; the fault-injection layer
+// (internal/fault) substitutes a medium that can lose power mid-write.
+type Store interface {
 	ReadAt(p []byte, off int64) (int, error)
 	WriteAt(p []byte, off int64) (int, error)
 	Size() (int64, error)
@@ -133,7 +135,7 @@ func (s *memStore) Close() error { return nil }
 // All methods are safe for concurrent use.
 type Area struct {
 	mu       sync.Mutex
-	st       store
+	st       Store
 	id       page.AreaID
 	extents  []*buddy.Allocator // one per extent
 	growable bool
@@ -187,7 +189,20 @@ func NewMem(id page.AreaID, extents int, growable bool) (*Area, error) {
 	return initArea(&memStore{}, id, extents, growable)
 }
 
-func initArea(st store, id page.AreaID, initialExtents int, growable bool) (*Area, error) {
+// Create initializes a brand-new area on st — the custom-media entry point
+// (fault injection, exotic backends). CreateFile/NewMem are conveniences
+// over the same path.
+func Create(st Store, id page.AreaID, initialExtents int, growable bool) (*Area, error) {
+	return initArea(st, id, initialExtents, growable)
+}
+
+// Load opens an existing area image on st, rebuilding allocator state from
+// the persisted extent maps.
+func Load(st Store, growable bool) (*Area, error) {
+	return loadArea(st, growable)
+}
+
+func initArea(st Store, id page.AreaID, initialExtents int, growable bool) (*Area, error) {
 	if initialExtents < 1 {
 		initialExtents = 1
 	}
@@ -207,7 +222,7 @@ func initArea(st store, id page.AreaID, initialExtents int, growable bool) (*Are
 	return a, nil
 }
 
-func loadArea(st store, growable bool) (*Area, error) {
+func loadArea(st Store, growable bool) (*Area, error) {
 	a := &Area{st: st, growable: growable}
 	hdr := make([]byte, page.Size)
 	if _, err := st.ReadAt(hdr, 0); err != nil {

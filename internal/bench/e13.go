@@ -1,0 +1,438 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"bess/internal/area"
+	"bess/internal/fault"
+	"bess/internal/page"
+	"bess/internal/wal"
+)
+
+// --- E13: crash-point enumeration — torn-write torture of ARIES restart ---
+//
+// The experiment runs a deterministic multi-transaction workload over
+// fault-injected media (internal/fault): WAL and area share one event
+// clock, so every write/sync boundary in either medium is a candidate
+// power-loss point. The workload runs once fault-free to count events,
+// then replays once per crash point × tear mode. Each replay kills the
+// machine at its scheduled event, extracts the surviving images, reopens
+// them, runs wal.Recover, and checks the recovered database against a
+// shadow model:
+//
+//	(1) every acknowledged commit (Flush returned nil before the crash)
+//	    has a durable TCommit in the surviving log;
+//	(2) every winner's page holds exactly its final after-image, every
+//	    loser's page is rolled back to its initial image;
+//	(3) the torn log tail is treated as end-of-log — reopen never errors
+//	    and recovery never replays garbage;
+//	(4) recovery is idempotent: a second restart on the recovered image
+//	    changes nothing and finds no losers.
+//
+// Tear modes per crash point: clean (the fatal write vanishes), torn
+// (one 512B sector of it survives), and torn+garbage (the lost extent is
+// overwritten with seeded noise — a drive scribbling as power died).
+
+// Workload shape. Each transaction owns a private page (matching the
+// segment-granular strict 2PL the server enforces) and logs full-page
+// before/after images, mirroring server.logAndApply.
+const (
+	e13Txs     = 12 // transactions; odd commit, even are left in flight
+	e13Updates = 3  // full-page updates per transaction
+	e13AreaID  = 7
+)
+
+// E13Mode aggregates trials for one tear mode.
+type E13Mode struct {
+	Mode         string `json:"mode"` // "clean", "torn", "garbage"
+	Trials       int    `json:"trials"`
+	Consistent   int    `json:"consistent"`
+	Inconsistent int    `json:"inconsistent"`
+}
+
+// E13Report is the full experiment output (BENCH_E13.json).
+type E13Report struct {
+	Seed           int64     `json:"seed"`
+	SetupEvents    int64     `json:"setup_events"`
+	TotalEvents    int64     `json:"total_events"`
+	CrashPoints    int       `json:"crash_points"`
+	Sampled        bool      `json:"sampled"` // true when a bounded sample ran instead of full enumeration
+	Trials         int       `json:"trials"`
+	Consistent     int       `json:"consistent"`
+	Inconsistent   int       `json:"inconsistent"`
+	Modes          []E13Mode `json:"modes"`
+	MeanRecoverUs  float64   `json:"mean_recover_us"`
+	MaxRecoverUs   float64   `json:"max_recover_us"`
+	MeanRedo       float64   `json:"mean_redo_applied"`
+	MeanUndo       float64   `json:"mean_undo_applied"`
+	Failures       []string  `json:"failures,omitempty"`     // first few inconsistency descriptions
+	WorkloadAcked  int       `json:"workload_acked_commits"` // in the fault-free run
+	WorkloadEvents string    `json:"workload_event_window"`
+}
+
+// e13World is one simulated machine: WAL and area on a shared event clock,
+// plus the shadow model the workload maintains as it runs.
+type e13World struct {
+	inj    *fault.Injector
+	walSt  *fault.Store
+	areaSt *fault.Store
+	log    *wal.Log
+	area   *area.Area
+
+	pages  map[uint64]page.No // tx -> its private page
+	acked  map[uint64]bool    // commits acknowledged before any crash
+	finals map[uint64][]byte  // tx -> final after-image of its page
+
+	setupEvents int64
+}
+
+// e13Setup builds the database: log, area, and one private page per
+// transaction, all made durable. Crash points are enumerated strictly
+// after setup — power loss before the database exists is not a recovery
+// scenario.
+func e13Setup(seed int64) (*e13World, error) {
+	w := &e13World{
+		inj:    fault.NewInjector(seed),
+		pages:  make(map[uint64]page.No),
+		acked:  make(map[uint64]bool),
+		finals: make(map[uint64][]byte),
+	}
+	w.walSt = fault.NewStore(w.inj)
+	w.areaSt = fault.NewStore(w.inj)
+
+	l, err := wal.Open(w.walSt.WAL())
+	if err != nil {
+		return nil, fmt.Errorf("open log: %w", err)
+	}
+	w.log = l
+	a, err := area.Create(w.areaSt.Area(), e13AreaID, 1, true)
+	if err != nil {
+		return nil, fmt.Errorf("create area: %w", err)
+	}
+	w.area = a
+	for t := uint64(1); t <= e13Txs; t++ {
+		first, _, err := a.AllocSegment(1)
+		if err != nil {
+			return nil, fmt.Errorf("alloc page for tx %d: %w", t, err)
+		}
+		w.pages[t] = first
+	}
+	if err := w.areaSt.Area().Sync(); err != nil {
+		return nil, fmt.Errorf("sync area: %w", err)
+	}
+	w.setupEvents = w.inj.Events()
+	return w, nil
+}
+
+// e13Image is the deterministic page content of tx t after its k-th update.
+func e13Image(t uint64, k int) []byte {
+	img := make([]byte, page.Size)
+	for j := range img {
+		img[j] = byte(uint64(j)*31 + t*131 + uint64(k)*17 + 1)
+	}
+	return img
+}
+
+// e13Workload runs the transaction mix. Any error is the scheduled crash
+// (or a cascade of it) and simply ends the run — everything acknowledged
+// before that moment is in w.acked, and that is what recovery must honor.
+//
+// Odd transactions commit (append TCommit, force the log, ack, TEnd); even
+// ones are left in flight. Dirty pages are stolen to the area — after
+// forcing the log up to their last update, per the WAL rule — for all even
+// transactions and every fourth odd one, so both redo of lost winner
+// writes and undo of stolen loser writes are exercised. A fuzzy checkpoint
+// with accurate transaction and dirty-page tables lands mid-run.
+func e13Workload(w *e13World) {
+	active := make(map[uint64]page.LSN)
+	dpt := make(map[page.ID]page.LSN)
+
+	for t := uint64(1); t <= e13Txs; t++ {
+		pg := page.ID{Area: e13AreaID, Page: w.pages[t]}
+		var prev page.LSN
+		img := make([]byte, page.Size) // initial image: freshly allocated zeros
+		for k := 0; k < e13Updates; k++ {
+			before := append([]byte(nil), img...)
+			img = e13Image(t, k)
+			lsn, err := w.log.Append(&wal.Record{
+				Type:    wal.TUpdate,
+				Tx:      t,
+				PrevLSN: prev,
+				Page:    pg,
+				Off:     0,
+				Before:  before,
+				After:   append([]byte(nil), img...),
+			})
+			if err != nil {
+				return
+			}
+			prev = lsn
+			if _, ok := dpt[pg]; !ok {
+				dpt[pg] = lsn
+			}
+		}
+		w.finals[t] = append([]byte(nil), img...)
+		active[t] = prev
+
+		steal := t%2 == 0 || t%4 == 1
+		if steal {
+			if err := w.log.Flush(prev); err != nil { // WAL rule: log before data
+				return
+			}
+			if err := w.area.WritePage(w.pages[t], img); err != nil {
+				return
+			}
+		}
+
+		if t%2 == 1 {
+			clsn, err := w.log.Append(&wal.Record{Type: wal.TCommit, Tx: t, PrevLSN: prev})
+			if err != nil {
+				return
+			}
+			if err := w.log.Flush(clsn); err != nil {
+				return
+			}
+			w.acked[t] = true // the commit is acknowledged from here on
+			if _, err := w.log.Append(&wal.Record{Type: wal.TEnd, Tx: t}); err != nil {
+				return
+			}
+			delete(active, t)
+		}
+
+		if t == e13Txs/2 {
+			var act []wal.CkptTx
+			for tx, last := range active {
+				act = append(act, wal.CkptTx{Tx: tx, LastLSN: last})
+			}
+			sort.Slice(act, func(i, j int) bool { return act[i].Tx < act[j].Tx })
+			// Stolen pages stay in the DPT: their writes are not yet synced,
+			// so dropping them could let redo start too late. Sorted so the
+			// checkpoint record — and thus the whole log image — is byte-for-
+			// byte reproducible from the seed.
+			var dirty []wal.CkptPage
+			for p, rec := range dpt {
+				dirty = append(dirty, wal.CkptPage{Page: p, RecLSN: rec})
+			}
+			sort.Slice(dirty, func(i, j int) bool { return dirty[i].Page.Page < dirty[j].Page.Page })
+			if _, err := wal.Checkpoint(w.log, act, dirty); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// e13Pager adapts a rebooted area to wal.Pager.
+type e13Pager struct{ a *area.Area }
+
+func (p e13Pager) ReadPage(id page.ID, buf []byte) error {
+	if id.Area != e13AreaID {
+		return fmt.Errorf("e13: read of foreign area %d", id.Area)
+	}
+	return p.a.ReadPage(id.Page, buf)
+}
+
+func (p e13Pager) WritePage(id page.ID, data []byte) error {
+	if id.Area != e13AreaID {
+		return fmt.Errorf("e13: write of foreign area %d", id.Area)
+	}
+	return p.a.WritePage(id.Page, data)
+}
+
+// e13Verify reboots onto the surviving images, recovers, and checks the
+// shadow-model invariants. Returns the recovery stats of the first restart.
+func e13Verify(w *e13World) (*wal.RecoveryStats, error) {
+	walImg := w.walSt.CrashImage()
+	areaImg := w.areaSt.CrashImage()
+
+	// (3) torn tail is end-of-log: reopening the surviving log must succeed.
+	l, err := wal.OpenMemFrom(walImg)
+	if err != nil {
+		return nil, fmt.Errorf("reopen log: %w", err)
+	}
+	// Throwaway reboot images: close errors carry no durability meaning here.
+	defer func() { _ = l.Close() }()
+	st2 := fault.NewStoreFrom(fault.NewInjector(0), areaImg)
+	a, err := area.Load(st2.Area(), true)
+	if err != nil {
+		return nil, fmt.Errorf("reload area: %w", err)
+	}
+	defer func() { _ = a.Close() }()
+
+	// Winners by the durable log: transactions whose TCommit survived.
+	winners := make(map[uint64]bool)
+	if err := l.Iterate(wal.FirstLSN(), func(_ page.LSN, rec *wal.Record) error {
+		if rec.Type == wal.TCommit {
+			winners[rec.Tx] = true
+		}
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("scan surviving log: %w", err)
+	}
+
+	// (1) acked commits are durable.
+	for tx := range w.acked {
+		if !winners[tx] {
+			return nil, fmt.Errorf("acked commit of tx %d not durable", tx)
+		}
+	}
+
+	stats, err := wal.Recover(l, e13Pager{a})
+	if err != nil {
+		return nil, fmt.Errorf("recover: %w", err)
+	}
+
+	// (2) winners' effects present, losers' rolled back.
+	zero := make([]byte, page.Size)
+	buf := make([]byte, page.Size)
+	for t := uint64(1); t <= e13Txs; t++ {
+		pg, ok := w.pages[t]
+		if !ok {
+			continue
+		}
+		want := zero
+		if winners[t] {
+			want = w.finals[t]
+			if want == nil {
+				return nil, fmt.Errorf("tx %d committed durably but shadow has no final image", t)
+			}
+		}
+		if err := a.ReadPage(pg, buf); err != nil {
+			return nil, fmt.Errorf("read page of tx %d: %w", t, err)
+		}
+		if !bytesEqual(buf, want) {
+			return nil, fmt.Errorf("tx %d (winner=%v): page content diverges from shadow", t, winners[t])
+		}
+	}
+
+	// (4) idempotence: a second restart finds no losers and changes nothing.
+	stats2, err := wal.Recover(l, e13Pager{a})
+	if err != nil {
+		return nil, fmt.Errorf("second recover: %w", err)
+	}
+	if len(stats2.Losers) != 0 {
+		return nil, fmt.Errorf("second recovery found losers %v", stats2.Losers)
+	}
+	for t := uint64(1); t <= e13Txs; t++ {
+		want := zero
+		if winners[t] {
+			want = w.finals[t]
+		}
+		if err := a.ReadPage(w.pages[t], buf); err != nil {
+			return nil, err
+		}
+		if !bytesEqual(buf, want) {
+			return nil, fmt.Errorf("tx %d: second recovery changed the page", t)
+		}
+	}
+	return stats, nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// e13TearModes are the three ways the fatal write can tear.
+var e13TearModes = []struct {
+	name        string
+	tearSectors int
+	garbage     bool
+}{
+	{"clean", 0, false},
+	{"torn", 1, false},
+	{"garbage", 1, true},
+}
+
+// RunE13 enumerates crash points. sample <= 0 runs the full enumeration;
+// otherwise at most sample evenly spaced crash points run (the CI short
+// mode). Every trial replays the workload from scratch with the crash
+// scheduled, so garbage bytes and event interleavings reproduce exactly
+// from (seed, crash point, mode).
+func RunE13(seed int64, sample int) (E13Report, error) {
+	rep := E13Report{Seed: seed}
+
+	// Fault-free run: count events and record the expected ack set.
+	base, err := e13Setup(seed)
+	if err != nil {
+		return rep, fmt.Errorf("e13 baseline setup: %w", err)
+	}
+	e13Workload(base)
+	if base.inj.Crashed() {
+		return rep, fmt.Errorf("e13 baseline run crashed with no fault scheduled")
+	}
+	rep.SetupEvents = base.setupEvents
+	rep.TotalEvents = base.inj.Events()
+	rep.WorkloadAcked = len(base.acked)
+	rep.WorkloadEvents = fmt.Sprintf("(%d, %d]", rep.SetupEvents, rep.TotalEvents)
+
+	points := make([]int64, 0, rep.TotalEvents-rep.SetupEvents)
+	for n := rep.SetupEvents + 1; n <= rep.TotalEvents; n++ {
+		points = append(points, n)
+	}
+	if sample > 0 && sample < len(points) {
+		rep.Sampled = true
+		stride := float64(len(points)) / float64(sample)
+		picked := make([]int64, 0, sample)
+		for i := 0; i < sample; i++ {
+			picked = append(picked, points[int(float64(i)*stride)])
+		}
+		points = picked
+	}
+	rep.CrashPoints = len(points)
+
+	var totalRecoverNs, maxRecoverNs int64
+	var totalRedo, totalUndo int
+	for _, mode := range e13TearModes {
+		m := E13Mode{Mode: mode.name}
+		for _, n := range points {
+			m.Trials++
+			w, err := e13Setup(seed)
+			if err != nil {
+				return rep, fmt.Errorf("e13 setup (crash at %d): %w", n, err)
+			}
+			w.inj.SetCrashPoint(n, mode.tearSectors, mode.garbage)
+			e13Workload(w)
+			if !w.inj.Crashed() {
+				return rep, fmt.Errorf("e13: crash at event %d never fired (%s)", n, w.inj)
+			}
+			start := time.Now()
+			stats, err := e13Verify(w)
+			el := time.Since(start).Nanoseconds()
+			if err != nil {
+				m.Inconsistent++
+				if len(rep.Failures) < 8 {
+					rep.Failures = append(rep.Failures,
+						fmt.Sprintf("crash@%d mode=%s: %v", n, mode.name, err))
+				}
+				continue
+			}
+			m.Consistent++
+			totalRecoverNs += el
+			if el > maxRecoverNs {
+				maxRecoverNs = el
+			}
+			totalRedo += stats.RedoApplied
+			totalUndo += stats.UndoApplied
+		}
+		rep.Trials += m.Trials
+		rep.Consistent += m.Consistent
+		rep.Inconsistent += m.Inconsistent
+		rep.Modes = append(rep.Modes, m)
+	}
+	if rep.Consistent > 0 {
+		rep.MeanRecoverUs = float64(totalRecoverNs) / float64(rep.Consistent) / 1e3
+		rep.MaxRecoverUs = float64(maxRecoverNs) / 1e3
+		rep.MeanRedo = float64(totalRedo) / float64(rep.Consistent)
+		rep.MeanUndo = float64(totalUndo) / float64(rep.Consistent)
+	}
+	return rep, nil
+}

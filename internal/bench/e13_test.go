@@ -1,0 +1,46 @@
+package bench
+
+import "testing"
+
+// TestE13CrashTorture enumerates every crash point of the E13 workload in
+// all three tear modes and requires 100% consistent recovery. Under -short
+// a bounded evenly-spaced sample runs instead (the CI crash-torture job).
+func TestE13CrashTorture(t *testing.T) {
+	sample := 0
+	if testing.Short() {
+		sample = 12
+	}
+	rep, err := RunE13(42, sample)
+	if err != nil {
+		t.Fatalf("E13: %v", err)
+	}
+	if rep.CrashPoints == 0 {
+		t.Fatal("E13 enumerated no crash points")
+	}
+	if rep.Inconsistent != 0 {
+		t.Fatalf("E13: %d/%d trials inconsistent; first failures: %v",
+			rep.Inconsistent, rep.Trials, rep.Failures)
+	}
+	if rep.WorkloadAcked == 0 {
+		t.Fatal("E13 baseline run acknowledged no commits")
+	}
+	t.Logf("E13: %d crash points x %d modes, %d consistent, mean recover %.1fus",
+		rep.CrashPoints, len(rep.Modes), rep.Consistent, rep.MeanRecoverUs)
+}
+
+// TestE13SeedStability: two runs with the same seed must agree exactly —
+// the property that makes a failing crash point replayable.
+func TestE13SeedStability(t *testing.T) {
+	a, err := RunE13(7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunE13(7, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEvents != b.TotalEvents || a.Trials != b.Trials ||
+		a.Consistent != b.Consistent || a.Inconsistent != b.Inconsistent {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

@@ -47,6 +47,22 @@ func NewRemote(p *rpc.Peer) *Remote {
 	return r
 }
 
+// Dial connects to a server address with the default fault-hardened dialer
+// (connect timeout, jittered retry — see rpc.Dialer) and wraps the peer.
+func Dial(addr string) (*Remote, error) {
+	var d rpc.Dialer
+	return DialWith(&d, addr)
+}
+
+// DialWith connects with an explicit dialer configuration.
+func DialWith(d *rpc.Dialer, addr string) (*Remote, error) {
+	p, err := d.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewRemote(p), nil
+}
+
 // SetCallback installs the revocation policy (the session's cache drop).
 func (r *Remote) SetCallback(fn func(proto.SegKey) bool) {
 	r.mu.Lock()

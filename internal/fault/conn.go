@@ -1,0 +1,124 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrConnDropped is returned by operations on a Conn after its scheduled
+// drop fired (and surfaces as a read error on the peer side, whose
+// underlying connection is closed).
+var ErrConnDropped = errors.New("fault: connection dropped")
+
+// ConnPlan schedules faults on one wrapped connection. The zero value
+// injects nothing (pure pass-through).
+type ConnPlan struct {
+	// ReadDelay / WriteDelay sleep before every read/write — a slow or
+	// congested link.
+	ReadDelay  time.Duration
+	WriteDelay time.Duration
+
+	// ShortWriteAfter, when > 0, lets exactly that many bytes through and
+	// then fails the write that crosses the limit after delivering only the
+	// allowed prefix — the classic short write that leaves a byte-oriented
+	// stream unframeable.
+	ShortWriteAfter int64
+
+	// DropAfterOps, when > 0, closes the underlying connection after that
+	// many combined read/write calls — a peer dying mid-conversation.
+	DropAfterOps int64
+}
+
+// Conn wraps a net.Conn with the faults scheduled in its plan. Safe for
+// the usual one-reader/one-writer concurrent use of net.Conn.
+type Conn struct {
+	net.Conn
+	plan ConnPlan
+
+	mu      sync.Mutex
+	ops     int64
+	written int64
+	dropped bool
+}
+
+// WrapConn attaches a fault plan to conn.
+func WrapConn(conn net.Conn, plan ConnPlan) *Conn {
+	return &Conn{Conn: conn, plan: plan}
+}
+
+// countOp advances the operation counter and fires the scheduled drop.
+func (c *Conn) countOp() error {
+	c.mu.Lock()
+	if c.dropped {
+		c.mu.Unlock()
+		return ErrConnDropped
+	}
+	c.ops++
+	drop := c.plan.DropAfterOps > 0 && c.ops >= c.plan.DropAfterOps
+	if drop {
+		c.dropped = true
+	}
+	c.mu.Unlock()
+	if drop {
+		c.Conn.Close()
+		return ErrConnDropped
+	}
+	return nil
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if c.plan.ReadDelay > 0 {
+		time.Sleep(c.plan.ReadDelay)
+	}
+	if err := c.countOp(); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn: the write crossing ShortWriteAfter delivers
+// only the allowed prefix and then reports the failure.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.plan.WriteDelay > 0 {
+		time.Sleep(c.plan.WriteDelay)
+	}
+	if err := c.countOp(); err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	allowed := len(p)
+	short := false
+	if c.plan.ShortWriteAfter > 0 {
+		remain := c.plan.ShortWriteAfter - c.written
+		if remain < int64(len(p)) {
+			if remain < 0 {
+				remain = 0
+			}
+			allowed = int(remain)
+			short = true
+			c.dropped = true // the stream is unframeable from here on
+		}
+	}
+	c.written += int64(allowed)
+	c.mu.Unlock()
+	n, err := c.Conn.Write(p[:allowed])
+	if err != nil {
+		return n, err
+	}
+	if short {
+		c.Conn.Close()
+		return n, ErrConnDropped
+	}
+	return n, nil
+}
+
+// Close implements net.Conn.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	c.dropped = true
+	c.mu.Unlock()
+	return c.Conn.Close()
+}

@@ -1,0 +1,104 @@
+package fault_test
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"bess/internal/fault"
+)
+
+// pipePair returns both ends of an in-memory duplex connection.
+func pipePair() (net.Conn, net.Conn) { return net.Pipe() }
+
+func TestConnPassThrough(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	fa := fault.WrapConn(a, fault.ConnPlan{})
+
+	go b.Write([]byte("ping"))
+	buf := make([]byte, 4)
+	if _, err := fa.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("ping")) {
+		t.Fatalf("read %q", buf)
+	}
+}
+
+func TestConnDropAfterOps(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fa := fault.WrapConn(a, fault.ConnPlan{DropAfterOps: 2})
+
+	done := make(chan struct{})
+	go func() {
+		b.Write([]byte("x"))
+		close(done)
+	}()
+	if _, err := fa.Read(make([]byte, 1)); err != nil { // op 1
+		t.Fatal(err)
+	}
+	<-done
+	if _, err := fa.Write([]byte("y")); err != fault.ErrConnDropped { // op 2: drops
+		t.Fatalf("err = %v, want ErrConnDropped", err)
+	}
+	// Every later op fails too.
+	if _, err := fa.Read(make([]byte, 1)); err != fault.ErrConnDropped {
+		t.Fatalf("post-drop read err = %v, want ErrConnDropped", err)
+	}
+	// The peer sees the close as EOF / closed-pipe.
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := b.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read succeeded after drop")
+	}
+}
+
+func TestConnShortWrite(t *testing.T) {
+	a, b := pipePair()
+	defer b.Close()
+	fa := fault.WrapConn(a, fault.ConnPlan{ShortWriteAfter: 3})
+
+	got := make(chan []byte, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := b.Read(buf)
+		got <- buf[:n]
+	}()
+	n, err := fa.Write([]byte("hello"))
+	if err != fault.ErrConnDropped {
+		t.Fatalf("err = %v, want ErrConnDropped", err)
+	}
+	if n != 3 {
+		t.Fatalf("delivered %d bytes, want the 3-byte prefix", n)
+	}
+	if prefix := <-got; !bytes.Equal(prefix, []byte("hel")) {
+		t.Fatalf("peer received %q, want %q", prefix, "hel")
+	}
+	// The stream is unframeable: later writes fail.
+	if _, err := fa.Write([]byte("more")); err != fault.ErrConnDropped {
+		t.Fatalf("post-short-write err = %v, want ErrConnDropped", err)
+	}
+}
+
+func TestConnDelay(t *testing.T) {
+	a, b := pipePair()
+	defer a.Close()
+	defer b.Close()
+	const d = 20 * time.Millisecond
+	fa := fault.WrapConn(a, fault.ConnPlan{WriteDelay: d})
+
+	go func() {
+		buf := make([]byte, 1)
+		b.Read(buf)
+	}()
+	start := time.Now()
+	if _, err := fa.Write([]byte("z")); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < d {
+		t.Fatalf("write completed in %v, want >= %v", el, d)
+	}
+}

@@ -1,0 +1,114 @@
+package rpc
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Defaults for the zero Dialer.
+const (
+	DefaultDialTimeout = 5 * time.Second
+	DefaultDialRetries = 3
+	defaultBackoff     = 50 * time.Millisecond
+	defaultMaxBackoff  = time.Second
+)
+
+// Dialer connects to a BeSS endpoint without hanging on a dead or
+// unreachable host: every connect attempt is bounded by Timeout, and
+// transient failures (server restarting, listener not up yet) are retried
+// with jittered exponential backoff. The zero value is ready to use with
+// the defaults above; rpc.Dial uses it.
+type Dialer struct {
+	// Timeout bounds each individual connect attempt. <= 0 means
+	// DefaultDialTimeout.
+	Timeout time.Duration
+
+	// Retries is the number of attempts after the first. < 0 disables
+	// retrying entirely; 0 means DefaultDialRetries. (The zero value should
+	// retry — a Dialer that gives up on the first RST is no better than
+	// net.Dial.)
+	Retries int
+
+	// Backoff is the base sleep before the first retry; it doubles per
+	// attempt up to MaxBackoff. <= 0 means the 50ms/1s defaults.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+
+	// Rand supplies jitter in [0,1); nil uses math/rand. Each sleep is
+	// scaled by 0.5+Rand() so synchronized clients (a fleet reconnecting
+	// after a server restart) spread out instead of stampeding.
+	Rand func() float64
+
+	// DialFunc replaces net.DialTimeout — the test seam that lets a
+	// never-accepting host or a listener that comes up mid-retry be
+	// simulated hermetically. nil uses the real network.
+	DialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// Dial connects to addr and wraps the connection in a Peer. It returns the
+// last attempt's error (wrapped with the attempt count) once the retry
+// budget is spent.
+func (d *Dialer) Dial(addr string) (*Peer, error) {
+	conn, err := d.dialConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewPeer(conn), nil
+}
+
+func (d *Dialer) dialConn(addr string) (net.Conn, error) {
+	timeout := d.Timeout
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	retries := d.Retries
+	if retries == 0 {
+		retries = DefaultDialRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	dial := d.DialFunc
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		conn, err := dial("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		if attempt >= retries {
+			break
+		}
+		time.Sleep(d.backoff(attempt))
+	}
+	if retries > 0 {
+		return nil, fmt.Errorf("rpc: dial %s: %d attempts: %w", addr, retries+1, lastErr)
+	}
+	return nil, fmt.Errorf("rpc: dial %s: %w", addr, lastErr)
+}
+
+// backoff computes the jittered sleep before retry attempt+1.
+func (d *Dialer) backoff(attempt int) time.Duration {
+	base := d.Backoff
+	if base <= 0 {
+		base = defaultBackoff
+	}
+	max := d.MaxBackoff
+	if max <= 0 {
+		max = defaultMaxBackoff
+	}
+	sleep := base << uint(attempt)
+	if sleep > max || sleep <= 0 { // <= 0: shift overflow
+		sleep = max
+	}
+	r := d.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	return time.Duration(float64(sleep) * (0.5 + r()))
+}

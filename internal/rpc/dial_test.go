@@ -1,0 +1,127 @@
+package rpc
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// neverDial simulates a host that drops SYNs: the attempt blocks for the
+// full connect timeout, then fails. (A real loopback listener cannot model
+// this — the kernel completes handshakes even with a full backlog.)
+func neverDial(calls *atomic.Int64) func(string, string, time.Duration) (net.Conn, error) {
+	return func(network, addr string, timeout time.Duration) (net.Conn, error) {
+		calls.Add(1)
+		time.Sleep(timeout)
+		return nil, &net.OpError{Op: "dial", Net: network, Err: errors.New("i/o timeout")}
+	}
+}
+
+func TestDialTimeoutAndRetryBudget(t *testing.T) {
+	var calls atomic.Int64
+	d := Dialer{
+		Timeout:    5 * time.Millisecond,
+		Retries:    2,
+		Backoff:    time.Millisecond,
+		MaxBackoff: 2 * time.Millisecond,
+		Rand:       func() float64 { return 0.5 },
+		DialFunc:   neverDial(&calls),
+	}
+	start := time.Now()
+	_, err := d.Dial("10.255.255.1:1")
+	if err == nil {
+		t.Fatal("dial of a never-accepting host succeeded")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("made %d attempts, want 1+2 retries", got)
+	}
+	// 3 bounded attempts + 2 tiny backoffs — nowhere near a default TCP
+	// connect hang.
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("dial took %v; timeout not enforced", el)
+	}
+}
+
+func TestDialNoRetries(t *testing.T) {
+	var calls atomic.Int64
+	d := Dialer{
+		Timeout:  time.Millisecond,
+		Retries:  -1, // explicit: fail on the first error
+		DialFunc: neverDial(&calls),
+	}
+	if _, err := d.Dial("x:1"); err == nil {
+		t.Fatal("dial succeeded")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("made %d attempts, want 1", calls.Load())
+	}
+}
+
+// TestDialRetriesUntilListenerAppears proves the retry loop end-to-end over
+// real TCP: the first attempts hit a closed port, then the listener starts
+// during the backoff window and the dial lands.
+func TestDialRetriesUntilListenerAppears(t *testing.T) {
+	// Reserve a port, then close it so the first dial gets RST.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	var attempts atomic.Int64
+	started := make(chan *Listener, 1)
+	d := Dialer{
+		Timeout: time.Second,
+		Retries: 10,
+		Backoff: 10 * time.Millisecond,
+		DialFunc: func(network, a string, timeout time.Duration) (net.Conn, error) {
+			if attempts.Add(1) == 2 {
+				// Bring the server up between attempts.
+				l, err := Listen(addr)
+				if err != nil {
+					t.Errorf("listen: %v", err)
+				} else {
+					go func() {
+						p, err := l.Accept()
+						if err == nil {
+							p.Handle("ping", func([]byte) ([]byte, error) { return []byte("pong"), nil })
+						}
+					}()
+					started <- l
+				}
+			}
+			return net.DialTimeout(network, a, timeout)
+		},
+	}
+	p, err := d.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial never recovered: %v (attempts=%d)", err, attempts.Load())
+	}
+	defer p.Close()
+	defer (<-started).Close()
+	if attempts.Load() < 2 {
+		t.Fatalf("succeeded in %d attempts; retry path not exercised", attempts.Load())
+	}
+	// The recovered connection actually works.
+	if b, err := p.CallRaw("ping", nil); err != nil || string(b) != "pong" {
+		t.Fatalf("call over recovered connection: %q, %v", b, err)
+	}
+}
+
+func TestDialerBackoffShape(t *testing.T) {
+	d := Dialer{Backoff: 100 * time.Millisecond, MaxBackoff: time.Second, Rand: func() float64 { return 0 }}
+	// With Rand=0 the scale factor is exactly 0.5.
+	for i, want := range []time.Duration{50, 100, 200, 400, 500, 500} {
+		if got := d.backoff(i); got != want*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, want*time.Millisecond)
+		}
+	}
+	// Jitter spreads attempts: Rand=1 doubles the floor.
+	d.Rand = func() float64 { return 0.999999 }
+	if got := d.backoff(0); got <= 50*time.Millisecond || got > 150*time.Millisecond {
+		t.Fatalf("jittered backoff(0) = %v, want in (50ms, 150ms]", got)
+	}
+}

@@ -92,8 +92,28 @@ type Peer struct {
 	closed   bool                  // guarded by mu
 	closeErr error                 // guarded by mu
 
-	// OnClose runs once when the read loop exits.
-	OnClose func(error)
+	onClose func(error) // guarded by mu; runs once when the read loop exits
+}
+
+// SetOnClose registers fn to run once when the peer shuts down, composing
+// with (after) any previously registered hook. If the peer is already
+// closed, fn runs immediately with the close error. Safe to call while the
+// read loop is running — which is always, since NewPeer starts it.
+func (p *Peer) SetOnClose(fn func(error)) {
+	p.mu.Lock()
+	if p.closed {
+		err := p.closeErr
+		p.mu.Unlock()
+		fn(err)
+		return
+	}
+	prev := p.onClose
+	if prev == nil {
+		p.onClose = fn
+	} else {
+		p.onClose = func(err error) { prev(err); fn(err) }
+	}
+	p.mu.Unlock()
 }
 
 // NewPeer wraps a connection and starts the read loop.
@@ -369,7 +389,7 @@ func (p *Peer) shutdown(err error) {
 		close(ch)
 		delete(p.calls, id)
 	}
-	onClose := p.OnClose
+	onClose := p.onClose
 	p.mu.Unlock()
 	// Fail senders parked on the coalescing buffer and any future writes.
 	p.wmu.Lock()
@@ -397,13 +417,11 @@ func Pipe() (*Peer, *Peer) {
 	return NewPeer(c1), NewPeer(c2)
 }
 
-// Dial connects to a TCP BeSS endpoint.
+// Dial connects to a TCP BeSS endpoint with the default Dialer: a bounded
+// connect timeout and a few retries with jittered backoff (dial.go).
 func Dial(addr string) (*Peer, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	return NewPeer(conn), nil
+	var d Dialer
+	return d.Dial(addr)
 }
 
 // Listener accepts TCP peers.

@@ -220,7 +220,7 @@ func TestReplySendFailureShutsDown(t *testing.T) {
 		return []byte("late"), nil
 	})
 	closed := make(chan struct{})
-	b.OnClose = func(error) { close(closed) }
+	b.SetOnClose(func(error) { close(closed) })
 	_, err := a.CallRaw("wedge", nil)
 	if err == nil {
 		t.Fatal("call succeeded over a dead transport")
@@ -236,7 +236,7 @@ func TestReplySendFailureShutsDown(t *testing.T) {
 func TestOnClose(t *testing.T) {
 	a, b := Pipe()
 	fired := make(chan struct{})
-	b.OnClose = func(error) { close(fired) }
+	b.SetOnClose(func(error) { close(fired) })
 	a.Close()
 	select {
 	case <-fired:

@@ -37,11 +37,11 @@ func ServePeer(s *Server, p *rpc.Peer) {
 		return &proto.HelloReply{Client: id}, nil
 	})
 
-	p.OnClose = func(error) {
+	p.SetOnClose(func(error) {
 		if clientID != 0 {
 			s.Disconnect(clientID)
 		}
-	}
+	})
 
 	rpc.HandleFunc(p, "OpenDB", func(a *proto.OpenDBArgs) (*proto.OpenDBReply, error) {
 		db, host, err := s.OpenDB(a.Name, a.Create)

@@ -246,8 +246,10 @@ func decodeRecord(b []byte) (*Record, error) {
 	return r, nil
 }
 
-// backing abstracts the durable medium behind the log buffer.
-type backing interface {
+// Backing abstracts the durable medium behind the log buffer. Production
+// logs run on the file/mem implementations below; the fault-injection layer
+// (internal/fault) substitutes a medium that can lose power mid-write.
+type Backing interface {
 	io.WriterAt
 	io.ReaderAt
 	Sync() error
@@ -321,7 +323,7 @@ const RankLogMu lockcheck.Rank = 60
 type Log struct {
 	mu       lockcheck.Mutex
 	syncDone sync.Cond // broadcast at the end of every sync round
-	back     backing
+	back     Backing
 	tail     []byte   // guarded by mu; buffered bytes not yet handed to a sync round
 	tailAt   page.LSN // guarded by mu; byte offset of tail[0]
 	nextLSN  page.LSN // guarded by mu; LSN of the next record to append
@@ -364,6 +366,17 @@ func OpenFile(path string) (*Log, error) {
 		if cerr := f.Close(); cerr != nil {
 			err = errors.Join(err, cerr)
 		}
+		return nil, err
+	}
+	return l, nil
+}
+
+// Open opens (creating if empty) a log over an arbitrary backing — the
+// entry point for fault-injected media; OpenFile/NewMem are conveniences
+// over the same path.
+func Open(b Backing) (*Log, error) {
+	l := &Log{back: b}
+	if err := l.init(); err != nil {
 		return nil, err
 	}
 	return l, nil
