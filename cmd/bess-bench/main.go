@@ -1,4 +1,4 @@
-// bess-bench runs the experiment harness (E1–E13 from DESIGN.md §4)
+// bess-bench runs the experiment harness (E1–E13, E18 from DESIGN.md §4)
 // outside `go test` and prints one table per experiment — the rows recorded
 // in EXPERIMENTS.md.
 //
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E13)")
+	only := flag.String("only", "", "run a single experiment (E1..E13, E18)")
 	quick := flag.Bool("quick", false, "smaller parameters (CI-sized)")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<name>.json result files")
 	flag.Parse()
@@ -69,6 +69,9 @@ func main() {
 	}
 	if want("E13") {
 		e13(*quick, *jsonOut)
+	}
+	if want("E18") {
+		e18(*quick, *jsonOut)
 	}
 }
 
@@ -302,6 +305,32 @@ func e12(quick bool, jsonOut bool) {
 	}
 	if jsonOut {
 		writeJSON("E12", report)
+	}
+}
+
+func e18(quick bool, jsonOut bool) {
+	header("E18", "streaming scan — push pipeline vs per-segment fetch (§10)")
+	files, segs, objs, blob := 2, 48, 124, 4096
+	if quick {
+		files, segs, objs, blob = 2, 8, 40, 2048
+	}
+	env := bench.SetupE18(files, segs, objs, blob)
+	defer env.Close()
+	rep := bench.RunE18(env)
+	fmt.Printf("segment image ~%d KB, emulated net delay %.0f us/op\n", rep.SegmentBytes>>10, rep.NetDelayUs)
+	fmt.Printf("cold full-file scan:\n")
+	for _, r := range []bench.E18Scan{rep.PullLoopback, rep.StreamLoopback, rep.Pull, rep.Stream} {
+		fmt.Printf("  %s\n", bench.FormatE18Scan(r))
+	}
+	fmt.Printf("speedup: %.2fx lan, %.2fx loopback\n", rep.Speedup, rep.SpeedupLoopback)
+	fmt.Printf("parallel: %d files %8.1f MB/s aggregate\n", rep.Parallel.Files, rep.Parallel.MBPerSec)
+	fmt.Printf("mixed scan/update (updater on second file):\n")
+	for _, m := range []bench.E18Mixed{rep.MixedPull, rep.MixedStream} {
+		fmt.Printf("  %s  updates=%d (%.0f/s) %s\n", bench.FormatE18Scan(m.Scan),
+			m.UpdateCommits, m.UpdatesPerSec, bench.FormatLatency(m.UpdateLatency))
+	}
+	if jsonOut {
+		writeJSON("E18", rep)
 	}
 }
 

@@ -132,6 +132,7 @@ func TestCodecPairsPinned(t *testing.T) {
 		"callbackargs", "callbackreply", "commitargs",
 		"fetchargs", "fetchlargeargs", "fetchslottedreply",
 		"lockargs", "lockobjectargs",
+		"scanbatch", "scanctl", "scanstartargs", "scanstartreply",
 		"section", "segimage", "segkey",
 	}
 	sort.Strings(got)

@@ -16,13 +16,14 @@ import (
 // E11Result reports commit throughput for one client count against a
 // file-backed (really fsyncing) server.
 type E11Result struct {
-	Clients        int     `json:"clients"`
-	Commits        int     `json:"commits"`
-	Seconds        float64 `json:"seconds"`
-	CommitsPerSec  float64 `json:"commits_per_sec"`
-	WALSyncs       int64   `json:"wal_syncs"`
-	GroupedCommits int64   `json:"grouped_commits"`
-	SyncsPerCommit float64 `json:"syncs_per_commit"`
+	Clients        int            `json:"clients"`
+	Commits        int            `json:"commits"`
+	Seconds        float64        `json:"seconds"`
+	CommitsPerSec  float64        `json:"commits_per_sec"`
+	WALSyncs       int64          `json:"wal_syncs"`
+	GroupedCommits int64          `json:"grouped_commits"`
+	SyncsPerCommit float64        `json:"syncs_per_commit"`
+	Latency        LatencySummary `json:"latency"` // per update transaction
 }
 
 // RunE11 opens a file-backed server (commits pay a real fsync), gives each
@@ -66,6 +67,7 @@ func RunE11(clients, commitsPerClient int) E11Result {
 	}
 
 	before := srv.Snapshot()
+	var lat Hist
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
@@ -73,10 +75,12 @@ func RunE11(clients, commitsPerClient int) E11Result {
 		go func(c int) {
 			defer wg.Done()
 			for i := 0; i < commitsPerClient; i++ {
+				t0 := time.Now()
 				txid, err := srv.NewTx()
 				must(err)
 				must(srv.Lock(conns[c], txid, keys[c], proto.LockX))
 				must(srv.Commit(conns[c], txid, []proto.SegImage{imgs[c][i%2]}))
+				lat.Observe(time.Since(t0))
 			}
 		}(c)
 	}
@@ -92,6 +96,7 @@ func RunE11(clients, commitsPerClient int) E11Result {
 		CommitsPerSec:  float64(commits) / elapsed.Seconds(),
 		WALSyncs:       after.WALSyncs - before.WALSyncs,
 		GroupedCommits: after.WALGroupedCommits - before.WALGroupedCommits,
+		Latency:        lat.Summary(),
 	}
 	res.SyncsPerCommit = float64(res.WALSyncs) / float64(commits)
 	return res
@@ -99,6 +104,6 @@ func RunE11(clients, commitsPerClient int) E11Result {
 
 // FormatE11 renders an E11 row.
 func FormatE11(r E11Result) string {
-	return fmt.Sprintf("clients=%-3d commits=%-5d %8.0f commits/s  syncs=%-5d syncs/commit=%.3f grouped=%d",
-		r.Clients, r.Commits, r.CommitsPerSec, r.WALSyncs, r.SyncsPerCommit, r.GroupedCommits)
+	return fmt.Sprintf("clients=%-3d commits=%-5d %8.0f commits/s  syncs=%-5d syncs/commit=%.3f grouped=%d  %s",
+		r.Clients, r.Commits, r.CommitsPerSec, r.WALSyncs, r.SyncsPerCommit, r.GroupedCommits, FormatLatency(r.Latency))
 }

@@ -33,14 +33,15 @@ func gobBody(v any) []byte {
 
 // E12Result is one small-call throughput measurement.
 type E12Result struct {
-	Mode             string  `json:"mode"` // "gob" or "binary"
-	Concurrency      int     `json:"concurrency"`
-	Calls            int     `json:"calls"`
-	Seconds          float64 `json:"seconds"`
-	SmallCallsPerSec float64 `json:"small_calls_per_sec"`
-	NsPerCall        float64 `json:"ns_per_call"`
-	WireFlushes      int64   `json:"wire_flushes,omitempty"`     // binary only
-	CoalescedFrames  int64   `json:"coalesced_frames,omitempty"` // binary only
+	Mode             string         `json:"mode"` // "gob" or "binary"
+	Concurrency      int            `json:"concurrency"`
+	Calls            int            `json:"calls"`
+	Seconds          float64        `json:"seconds"`
+	SmallCallsPerSec float64        `json:"small_calls_per_sec"`
+	NsPerCall        float64        `json:"ns_per_call"`
+	WireFlushes      int64          `json:"wire_flushes,omitempty"`     // binary only
+	CoalescedFrames  int64          `json:"coalesced_frames,omitempty"` // binary only
+	Latency          LatencySummary `json:"latency"`                    // per call
 }
 
 // E12Fetch is one segment-fetch bandwidth measurement.
@@ -172,6 +173,7 @@ func RunE12(mode string, concurrency, callsPerWorker int) E12Result {
 		must(c.lock())
 	}
 	before := c.stats()
+	var lat Hist
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < concurrency; w++ {
@@ -179,7 +181,9 @@ func RunE12(mode string, concurrency, callsPerWorker int) E12Result {
 		go func() {
 			defer wg.Done()
 			for i := 0; i < callsPerWorker; i++ {
+				t0 := time.Now()
 				must(c.lock())
+				lat.Observe(time.Since(t0))
 			}
 		}()
 	}
@@ -196,6 +200,7 @@ func RunE12(mode string, concurrency, callsPerWorker int) E12Result {
 		NsPerCall:        float64(elapsed.Nanoseconds()) / float64(calls),
 		WireFlushes:      after.Flushes - before.Flushes,
 		CoalescedFrames:  after.Coalesced - before.Coalesced,
+		Latency:          lat.Summary(),
 	}
 }
 
@@ -232,8 +237,8 @@ func RunE12Fetch(mode string, fetches, payloadBytes int) E12Fetch {
 
 // FormatE12 renders a small-call row.
 func FormatE12(r E12Result) string {
-	return fmt.Sprintf("%-7s conc=%-3d %9.0f calls/s %8.0f ns/call flushes=%-6d coalesced=%d",
-		r.Mode, r.Concurrency, r.SmallCallsPerSec, r.NsPerCall, r.WireFlushes, r.CoalescedFrames)
+	return fmt.Sprintf("%-7s conc=%-3d %9.0f calls/s %8.0f ns/call flushes=%-6d coalesced=%-6d %s",
+		r.Mode, r.Concurrency, r.SmallCallsPerSec, r.NsPerCall, r.WireFlushes, r.CoalescedFrames, FormatLatency(r.Latency))
 }
 
 // FormatE12Fetch renders a fetch-bandwidth row.

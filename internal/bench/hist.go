@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a fixed-bucket log-linear latency histogram: 8 linear sub-buckets
+// per power-of-two octave (relative error <= 12.5%), fixed memory, and
+// lock-free concurrent Observe. Values are recorded in nanoseconds; the
+// reported quantiles are bucket midpoints. The zero value is ready to use.
+type Hist struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+}
+
+// histSubBits picks the sub-bucket resolution: 2^histSubBits linear buckets
+// per octave. Values below 2^histSubBits get exact unit buckets.
+const (
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// Octaves 3..63 at histSub buckets each, plus the 8 exact low buckets.
+	histBuckets = (64-histSubBits)*histSub + histSub
+)
+
+// histBucketOf maps a value to its bucket index. Small values are exact;
+// larger ones keep histSubBits bits of mantissa after the leading one.
+func histBucketOf(v uint64) int {
+	if v < histSub {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // >= histSubBits
+	mant := (v >> (uint(exp) - histSubBits)) & (histSub - 1)
+	return (exp-histSubBits)*histSub + histSub + int(mant)
+}
+
+// histBucketMid returns a representative value (the bucket midpoint) for a
+// bucket index, the inverse of histBucketOf up to bucket width.
+func histBucketMid(idx int) uint64 {
+	if idx < histSub {
+		return uint64(idx)
+	}
+	exp := uint(idx-histSub)/histSub + histSubBits
+	mant := uint64(idx-histSub) % histSub
+	low := (histSub + mant) << (exp - histSubBits)
+	return low + (uint64(1)<<(exp-histSubBits))/2
+}
+
+// Observe records one duration. Safe for concurrent use.
+func (h *Hist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histBucketOf(uint64(d))].Add(1)
+	h.total.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.total.Load() }
+
+// Quantile returns the q-quantile (0 < q <= 1) as a duration, or zero when
+// the histogram is empty. Concurrent Observes may or may not be counted.
+func (h *Hist) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > rank {
+			return time.Duration(histBucketMid(i))
+		}
+	}
+	return 0
+}
+
+// LatencySummary is the percentile triple reported in experiment tables and
+// JSON, in microseconds.
+type LatencySummary struct {
+	Count uint64  `json:"count"`
+	P50us float64 `json:"p50_us"`
+	P95us float64 `json:"p95_us"`
+	P99us float64 `json:"p99_us"`
+}
+
+// Summary snapshots p50/p95/p99.
+func (h *Hist) Summary() LatencySummary {
+	return LatencySummary{
+		Count: h.Count(),
+		P50us: float64(h.Quantile(0.50)) / 1e3,
+		P95us: float64(h.Quantile(0.95)) / 1e3,
+		P99us: float64(h.Quantile(0.99)) / 1e3,
+	}
+}
+
+// FormatLatency renders a summary as a compact table fragment.
+func FormatLatency(s LatencySummary) string {
+	return fmt.Sprintf("p50=%.0fus p95=%.0fus p99=%.0fus", s.P50us, s.P95us, s.P99us)
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistBucketMapping: indices are monotone in v, small values are exact,
+// and the midpoint stays within the bucket's 12.5% relative-error bound.
+func TestHistBucketMapping(t *testing.T) {
+	for v := uint64(0); v < histSub; v++ {
+		if got := histBucketOf(v); got != int(v) {
+			t.Fatalf("bucket(%d) = %d, want exact", v, got)
+		}
+		if got := histBucketMid(int(v)); got != v {
+			t.Fatalf("mid(%d) = %d, want exact", v, got)
+		}
+	}
+	prev := -1
+	for _, v := range []uint64{0, 1, 7, 8, 9, 15, 16, 17, 100, 1000, 1 << 20, 1<<40 + 12345, 1<<63 + 1} {
+		idx := histBucketOf(v)
+		if idx < prev {
+			t.Fatalf("bucket(%d) = %d below previous %d", v, idx, prev)
+		}
+		if idx >= histBuckets {
+			t.Fatalf("bucket(%d) = %d out of range", v, idx)
+		}
+		prev = idx
+		if v >= histSub {
+			mid := histBucketMid(idx)
+			lo, hi := float64(v)*0.875, float64(v)*1.125
+			if float64(mid) < lo/1.125 || float64(mid) > hi*1.125 {
+				t.Fatalf("mid of bucket(%d) = %d, outside relative-error bound", v, mid)
+			}
+		}
+	}
+	// Every bucket index roundtrips: bucket(mid(idx)) == idx.
+	for idx := 0; idx < histBuckets-histSub; idx++ {
+		if got := histBucketOf(histBucketMid(idx)); got != idx {
+			t.Fatalf("bucket(mid(%d)) = %d", idx, got)
+		}
+	}
+}
+
+// TestHistQuantiles checks percentiles of a known distribution land in the
+// right buckets.
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	// 1000 observations: 0..999 microseconds.
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	check := func(q float64, want time.Duration) {
+		got := h.Quantile(q)
+		lo := float64(want) * 0.85
+		hi := float64(want) * 1.15
+		if float64(got) < lo || float64(got) > hi {
+			t.Fatalf("q%.2f = %v, want within 15%% of %v", q, got, want)
+		}
+	}
+	check(0.50, 500*time.Microsecond)
+	check(0.95, 950*time.Microsecond)
+	check(0.99, 990*time.Microsecond)
+	s := h.Summary()
+	if s.Count != 1000 || s.P50us <= 0 || s.P99us < s.P50us {
+		t.Fatalf("summary %+v", s)
+	}
+	var empty Hist
+	if empty.Quantile(0.5) != 0 || empty.Summary().Count != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+// TestHistConcurrent hammers Observe from several goroutines; the count must
+// come out exact (the race detector guards the rest).
+func TestHistConcurrent(t *testing.T) {
+	var h Hist
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(rng.Intn(1 << 20)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}

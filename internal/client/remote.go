@@ -23,6 +23,7 @@ type Remote struct {
 
 	mu         sync.Mutex
 	onCallback func(proto.SegKey) bool // returns refused; guarded by mu
+	scans      map[uint64]*scanStream  // live streaming scans; guarded by mu
 }
 
 // NewRemote wraps a connected peer. The "Callback" handler is registered
@@ -43,6 +44,32 @@ func NewRemote(p *rpc.Peer) *Remote {
 			refused = cb(seg)
 		}
 		return proto.AppendCallbackReply(nil, refused), nil
+	})
+	// Pushed scan batches. Frames for an unregistered scan id (in flight
+	// after a cancel, or racing the ScanStart reply of a scan the client
+	// abandoned) are dropped here.
+	p.HandleStream("ScanData", func(stream uint64, body []byte) {
+		r.mu.Lock()
+		st := r.scans[stream]
+		r.mu.Unlock()
+		if st != nil {
+			st.deliver(body)
+		}
+	})
+	// A dead peer must wake iterators parked on a scan stream.
+	p.SetOnClose(func(err error) {
+		if err == nil {
+			err = rpc.ErrClosed
+		}
+		r.mu.Lock()
+		sts := make([]*scanStream, 0, len(r.scans))
+		for _, st := range r.scans {
+			sts = append(sts, st)
+		}
+		r.mu.Unlock()
+		for _, st := range sts {
+			st.fail(err)
+		}
 	})
 	return r
 }
@@ -81,6 +108,37 @@ func (r *Remote) call(method string, args, reply any) error {
 func (r *Remote) callRaw(method string, body []byte) ([]byte, error) {
 	r.calls.Add(1)
 	return r.p.CallRaw(method, body)
+}
+
+// scanStart opens a streaming scan and returns the scan id and plan.
+func (r *Remote) scanStart(client, db, fileID, batchBytes uint32) (uint64, []proto.ScanSeg, error) {
+	rb, err := r.callRaw("ScanStart", proto.AppendScanStartArgs(nil, client, db, fileID, batchBytes))
+	if err != nil {
+		return 0, nil, err
+	}
+	return proto.DecodeScanStartReply(rb)
+}
+
+// scanCtl sends one flow-control frame for scan id (credit grant or cancel).
+func (r *Remote) scanCtl(id uint64, cancel bool, credit uint64) error {
+	return r.p.SendStream("ScanCtl", id, proto.AppendScanCtl(nil, cancel, credit))
+}
+
+// registerScan routes pushed ScanData frames for id to st.
+func (r *Remote) registerScan(id uint64, st *scanStream) {
+	r.mu.Lock()
+	if r.scans == nil {
+		r.scans = make(map[uint64]*scanStream)
+	}
+	r.scans[id] = st
+	r.mu.Unlock()
+}
+
+// unregisterScan stops routing for id; later frames are dropped.
+func (r *Remote) unregisterScan(id uint64) {
+	r.mu.Lock()
+	delete(r.scans, id)
+	r.mu.Unlock()
 }
 
 // Hello implements proto.Conn.

@@ -59,6 +59,13 @@ type Session struct {
 	// touches it).
 	pendingDrops map[proto.SegKey]bool // guarded by mu
 
+	// Streaming scan tuning (prefetch.go). Set before StreamScan; not
+	// touched by the RPC goroutine.
+	scanWindow int
+	scanBatch  int
+	scanHook   func(images, bytes int)
+	lastScan   *scanStream // most recent stream, kept for leak checks in tests
+
 	stats Stats // guarded by mu
 }
 
@@ -165,18 +172,62 @@ func (s *Session) RegisterType(td segment.TypeDesc) (*segment.TypeDesc, error) {
 type fetcher struct {
 	s *Session
 
-	mu    sync.Mutex
-	stash map[swizzle.SegID][]byte // guarded by mu
+	mu     sync.Mutex
+	stash  map[swizzle.SegID][]byte     // guarded by mu
+	primed map[swizzle.SegID]*primedSeg // guarded by mu
+}
+
+// primedSeg is a segment image handed to the fetcher ahead of demand by the
+// streaming scan prefetcher: the next load of this segment is served
+// locally, with zero round trips.
+type primedSeg struct {
+	img   *proto.SegImage
+	pages int // slotted pages (the geometry SegInfo would report)
+}
+
+// prime installs a prefetched image for id.
+func (f *fetcher) prime(id swizzle.SegID, img *proto.SegImage, pages int) {
+	f.mu.Lock()
+	if f.primed == nil {
+		f.primed = make(map[swizzle.SegID]*primedSeg)
+	}
+	f.primed[id] = &primedSeg{img: img, pages: pages}
+	f.mu.Unlock()
+}
+
+// unprime discards a prefetched image that was not consumed.
+func (f *fetcher) unprime(id swizzle.SegID) {
+	f.mu.Lock()
+	delete(f.primed, id)
+	f.mu.Unlock()
 }
 
 func (f *fetcher) SlottedPages(id swizzle.SegID) (int, error) {
+	f.mu.Lock()
+	p, ok := f.primed[id]
+	f.mu.Unlock()
+	if ok {
+		return p.pages, nil
+	}
 	return f.s.conn.SegInfo(segKey(id))
 }
 
 func (f *fetcher) FetchSlotted(id swizzle.SegID) (*segment.Seg, error) {
-	sl, ov, data, err := f.s.conn.FetchSeg(f.s.client, segKey(id))
-	if err != nil {
-		return nil, err
+	var sl, ov, data []byte
+	f.mu.Lock()
+	p, ok := f.primed[id]
+	if ok {
+		delete(f.primed, id)
+	}
+	f.mu.Unlock()
+	if ok {
+		sl, ov, data = p.img.Slotted, p.img.Overflow, p.img.Data
+	} else {
+		var err error
+		sl, ov, data, err = f.s.conn.FetchSeg(f.s.client, segKey(id))
+		if err != nil {
+			return nil, err
+		}
 	}
 	dec, err := segment.DecodeSlotted(sl)
 	if err != nil {
@@ -208,6 +259,9 @@ func (f *fetcher) FetchData(id swizzle.SegID, _ *segment.Seg) ([]byte, error) {
 func (f *fetcher) dropStash(id swizzle.SegID) {
 	f.mu.Lock()
 	delete(f.stash, id)
+	// A dropped segment also invalidates any prefetched image: a refetch
+	// must go to the server for the fresh copy.
+	delete(f.primed, id)
 	f.mu.Unlock()
 }
 
@@ -842,6 +896,11 @@ func (s *Session) Scan(fileID uint32, fn func(addr vmem.Addr, obj *swizzle.Objec
 	}
 	for _, k := range segs {
 		if err := s.ScanSegment(k, fn); err != nil {
+			// A segment listed by SegmentsOf may be dropped before the
+			// cursor reaches it; that is a skip, not a scan failure.
+			if isNoSegment(err) {
+				continue
+			}
 			return err
 		}
 	}

@@ -358,6 +358,66 @@ func (f *File) Scan(fn func(*Object) error) error {
 	})
 }
 
+// StreamScan visits every live object like Scan, but through the
+// push-based streaming pipeline when the session is RPC-backed: the server
+// streams segment images ahead of the cursor, so a cold scan costs one
+// round trip instead of two per segment (DESIGN.md §6). On direct
+// connections and pre-streaming servers it falls back to Scan.
+func (f *File) StreamScan(fn func(*Object) error) error {
+	return f.db.sess.StreamScan(f.id, func(_ vmem.Addr, obj *swizzle.Object) error {
+		return fn(&Object{obj: obj, db: f.db})
+	})
+}
+
+// StreamScanFiles streams several files' scans in parallel, one session —
+// and therefore one independent push pipeline — per file: the multifile
+// parallel-scan configuration of §10. open returns a fresh connection for
+// scan i; fn must be safe for concurrent use.
+func StreamScanFiles(open func(i int) (proto.Conn, error), dbName string, files []uint32, fn func(file uint32, typ segment.TypeID, data []byte) error) error {
+	errCh := make(chan error, len(files))
+	var wg sync.WaitGroup
+	for i, fileID := range files {
+		wg.Add(1)
+		go func(i int, fileID uint32) {
+			defer wg.Done()
+			conn, err := open(i)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			sess, err := client.Open(conn, fmt.Sprintf("stream-scan-%d", i), dbName, false)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			if err := sess.Begin(); err != nil {
+				errCh <- err
+				return
+			}
+			err = sess.StreamScan(fileID, func(_ vmem.Addr, obj *swizzle.Object) error {
+				b, err := obj.Bytes()
+				if err != nil {
+					return err
+				}
+				return fn(fileID, obj.Type, b)
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			errCh <- sess.Commit()
+		}(i, fileID)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ParallelScan partitions the file's segments over `workers` goroutines,
 // each with its own session — the parallel I/O a multifile enables when its
 // areas sit on different devices (§2). fn must be safe for concurrent use;

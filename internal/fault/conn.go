@@ -68,6 +68,14 @@ func (c *Conn) countOp() error {
 	return nil
 }
 
+// Ops reports how many socket operations the connection has performed.
+// Benchmarks divide by it to attribute emulated per-op delays.
+func (c *Conn) Ops() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
 // Read implements net.Conn.
 func (c *Conn) Read(p []byte) (int, error) {
 	if c.plan.ReadDelay > 0 {

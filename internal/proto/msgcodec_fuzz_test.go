@@ -190,6 +190,22 @@ func TestMsgCodecTruncation(t *testing.T) {
 			_, err := DecodeSegImage(b)
 			return err
 		}},
+		{"scanstartargs", AppendScanStartArgs(nil, 3, 1, 9, 64<<10), func(b []byte) error {
+			_, _, _, _, err := DecodeScanStartArgs(b)
+			return err
+		}},
+		{"scanstartreply", AppendScanStartReply(nil, 42, []ScanSeg{{Seg: seg, SlottedPages: 2}, {Seg: SegKey{Area: 8, Start: 0}, SlottedPages: 1}}), func(b []byte) error {
+			_, _, err := DecodeScanStartReply(b)
+			return err
+		}},
+		{"scanbatch", AppendScanBatch(nil, &ScanBatch{Seq: 2, Last: true, Images: []SegImage{img, {Seg: seg}}}), func(b []byte) error {
+			_, err := DecodeScanBatch(b)
+			return err
+		}},
+		{"scanctl", AppendScanCtl(nil, false, 1<<20), func(b []byte) error {
+			_, _, err := DecodeScanCtl(b)
+			return err
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,178 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Codecs for the streaming scan protocol (DESIGN.md §6).
+//
+// A scan is opened with an ordinary request/reply (ScanStart) and then runs
+// as two one-way streams sharing the scan id: the server pushes ScanData
+// frames (each one a ScanBatch of segment images) and the client sends
+// ScanCtl frames granting byte credits or cancelling. All four messages are
+// hand-written in the msgcodec style: big-endian, bounds-checked,
+// canonical, no trailing bytes.
+
+// ScanSeg is one entry of a scan plan: the segment key plus its slotted
+// geometry, so the prefetching client can reserve address space without a
+// per-segment SegInfo round trip.
+type ScanSeg struct {
+	Seg          SegKey
+	SlottedPages uint32
+}
+
+// ScanBatch is one pushed batch of segment images. Seq numbers batches from
+// zero within a scan; Last marks the final batch. A non-empty Err reports a
+// server-side scan failure (the batch carries no images in that case and is
+// also the last one).
+type ScanBatch struct {
+	Seq    uint32
+	Last   bool
+	Err    string
+	Images []SegImage
+}
+
+// AppendScanStartArgs encodes (client, db, fileID, batchBytes). batchBytes
+// is the client's preferred batch granularity in bytes; zero lets the
+// server choose.
+func AppendScanStartArgs(b []byte, client, db, fileID, batchBytes uint32) []byte {
+	b = binary.BigEndian.AppendUint32(b, client)
+	b = binary.BigEndian.AppendUint32(b, db)
+	b = binary.BigEndian.AppendUint32(b, fileID)
+	return binary.BigEndian.AppendUint32(b, batchBytes)
+}
+
+// DecodeScanStartArgs parses AppendScanStartArgs bytes.
+func DecodeScanStartArgs(b []byte) (client, db, fileID, batchBytes uint32, err error) {
+	if len(b) < 16 {
+		return 0, 0, 0, 0, fmt.Errorf("%w: truncated scan-start args", ErrBadMessage)
+	}
+	client = binary.BigEndian.Uint32(b[0:4])
+	db = binary.BigEndian.Uint32(b[4:8])
+	fileID = binary.BigEndian.Uint32(b[8:12])
+	batchBytes = binary.BigEndian.Uint32(b[12:16])
+	return client, db, fileID, batchBytes, wantDone(b[16:])
+}
+
+// AppendScanStartReply encodes the scan id and the plan: the segment list
+// the cursor will walk, in push order.
+func AppendScanStartReply(b []byte, scan uint64, segs []ScanSeg) []byte {
+	b = binary.BigEndian.AppendUint64(b, scan)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(segs)))
+	for i := range segs {
+		b = appendSegKey(b, segs[i].Seg)
+		b = binary.BigEndian.AppendUint32(b, segs[i].SlottedPages)
+	}
+	return b
+}
+
+// DecodeScanStartReply parses AppendScanStartReply bytes.
+func DecodeScanStartReply(b []byte) (scan uint64, segs []ScanSeg, err error) {
+	if len(b) < 12 {
+		return 0, nil, fmt.Errorf("%w: truncated scan-start reply", ErrBadMessage)
+	}
+	scan = binary.BigEndian.Uint64(b[0:8])
+	n := binary.BigEndian.Uint32(b[8:12])
+	rest := b[12:]
+	// Each entry is exactly 16 bytes; reject hostile counts before
+	// allocating.
+	if uint64(n)*16 > uint64(len(rest)) {
+		return 0, nil, fmt.Errorf("%w: scan plan count %d exceeds payload", ErrBadMessage, n)
+	}
+	segs = make([]ScanSeg, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var e ScanSeg
+		e.Seg, rest, err = decodeSegKey(rest)
+		if err != nil {
+			return 0, nil, err
+		}
+		if len(rest) < 4 {
+			return 0, nil, fmt.Errorf("%w: truncated scan plan entry", ErrBadMessage)
+		}
+		e.SlottedPages = binary.BigEndian.Uint32(rest[0:4])
+		rest = rest[4:]
+		segs = append(segs, e)
+	}
+	return scan, segs, wantDone(rest)
+}
+
+// AppendScanBatch encodes one pushed batch: sequence number, last flag,
+// error string, then each image as a length-prefixed SegImage section.
+func AppendScanBatch(b []byte, sb *ScanBatch) []byte {
+	b = binary.BigEndian.AppendUint32(b, sb.Seq)
+	if sb.Last {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendSection(b, []byte(sb.Err))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(sb.Images)))
+	for i := range sb.Images {
+		b = appendSection(b, EncodeSegImage(&sb.Images[i]))
+	}
+	return b
+}
+
+// DecodeScanBatch parses AppendScanBatch bytes.
+func DecodeScanBatch(b []byte) (*ScanBatch, error) {
+	if len(b) < 5 {
+		return nil, fmt.Errorf("%w: truncated scan batch", ErrBadMessage)
+	}
+	sb := &ScanBatch{Seq: binary.BigEndian.Uint32(b[0:4])}
+	if b[4] > 1 {
+		return nil, fmt.Errorf("%w: bad last-batch flag %d", ErrBadMessage, b[4])
+	}
+	sb.Last = b[4] == 1
+	emsg, rest, err := decodeSection(b[5:])
+	if err != nil {
+		return nil, err
+	}
+	sb.Err = string(emsg)
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: truncated scan batch image count", ErrBadMessage)
+	}
+	n := binary.BigEndian.Uint32(rest[0:4])
+	rest = rest[4:]
+	// Every image section carries at least its 4-byte length prefix;
+	// reject hostile counts before allocating.
+	if uint64(n)*4 > uint64(len(rest)) {
+		return nil, fmt.Errorf("%w: scan batch image count %d exceeds payload", ErrBadMessage, n)
+	}
+	sb.Images = make([]SegImage, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var sec []byte
+		sec, rest, err = decodeSection(rest)
+		if err != nil {
+			return nil, err
+		}
+		img, err := DecodeSegImage(sec)
+		if err != nil {
+			return nil, err
+		}
+		sb.Images = append(sb.Images, *img)
+	}
+	return sb, wantDone(rest)
+}
+
+// AppendScanCtl encodes a flow-control frame: cancel aborts the scan,
+// otherwise credit grants the server that many more bytes of push budget.
+func AppendScanCtl(b []byte, cancel bool, credit uint64) []byte {
+	if cancel {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return binary.BigEndian.AppendUint64(b, credit)
+}
+
+// DecodeScanCtl parses AppendScanCtl bytes.
+func DecodeScanCtl(b []byte) (cancel bool, credit uint64, err error) {
+	if len(b) < 9 {
+		return false, 0, fmt.Errorf("%w: truncated scan ctl", ErrBadMessage)
+	}
+	if b[0] > 1 {
+		return false, 0, fmt.Errorf("%w: bad scan ctl op %d", ErrBadMessage, b[0])
+	}
+	return b[0] == 1, binary.BigEndian.Uint64(b[1:9]), wantDone(b[9:])
+}

@@ -1,0 +1,130 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestScanStartArgsRoundTrip(t *testing.T) {
+	b := AppendScanStartArgs(nil, 7, 2, 11, 256<<10)
+	client, db, fileID, batch, err := DecodeScanStartArgs(b)
+	if err != nil || client != 7 || db != 2 || fileID != 11 || batch != 256<<10 {
+		t.Fatalf("client=%d db=%d file=%d batch=%d err=%v", client, db, fileID, batch, err)
+	}
+	if _, _, _, _, err := DecodeScanStartArgs(b[:len(b)-1]); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("truncated err = %v", err)
+	}
+	if _, _, _, _, err := DecodeScanStartArgs(append(b, 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing err = %v", err)
+	}
+}
+
+func TestScanStartReplyRoundTrip(t *testing.T) {
+	plan := []ScanSeg{
+		{Seg: SegKey{Area: 1, Start: 0}, SlottedPages: 1},
+		{Seg: SegKey{Area: 1, Start: 4096}, SlottedPages: 3},
+		{Seg: SegKey{Area: 9, Start: -1}, SlottedPages: 0},
+	}
+	b := AppendScanStartReply(nil, 42, plan)
+	scan, got, err := DecodeScanStartReply(b)
+	if err != nil || scan != 42 || len(got) != len(plan) {
+		t.Fatalf("scan=%d n=%d err=%v", scan, len(got), err)
+	}
+	for i := range plan {
+		if got[i] != plan[i] {
+			t.Fatalf("plan[%d] = %+v, want %+v", i, got[i], plan[i])
+		}
+	}
+	// An empty plan (file with no segments) is legal.
+	scan, got, err = DecodeScanStartReply(AppendScanStartReply(nil, 9, nil))
+	if err != nil || scan != 9 || len(got) != 0 {
+		t.Fatalf("empty plan: scan=%d n=%d err=%v", scan, len(got), err)
+	}
+	// A hostile count must be rejected before allocation.
+	hostile := append([]byte(nil), b[:8]...)
+	hostile = append(hostile, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, _, err := DecodeScanStartReply(hostile); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("hostile count err = %v", err)
+	}
+}
+
+func TestScanBatchRoundTrip(t *testing.T) {
+	in := &ScanBatch{
+		Seq:  5,
+		Last: true,
+		Images: []SegImage{
+			{Seg: SegKey{Area: 1, Start: 0}, Slotted: []byte("sl"), Overflow: []byte("ov"), Data: []byte("data")},
+			{Seg: SegKey{Area: 2, Start: 8192}},
+		},
+	}
+	b := AppendScanBatch(nil, in)
+	got, err := DecodeScanBatch(b)
+	if err != nil || got.Seq != in.Seq || got.Last != in.Last || got.Err != "" || len(got.Images) != 2 {
+		t.Fatalf("got %+v err=%v", got, err)
+	}
+	for i := range in.Images {
+		if !imagesEqual(&in.Images[i], &got.Images[i]) {
+			t.Fatalf("image %d = %+v, want %+v", i, got.Images[i], in.Images[i])
+		}
+	}
+	// Error batches carry the message and no images.
+	eb := AppendScanBatch(nil, &ScanBatch{Seq: 1, Last: true, Err: "scan failed"})
+	got, err = DecodeScanBatch(eb)
+	if err != nil || got.Err != "scan failed" || !got.Last || len(got.Images) != 0 {
+		t.Fatalf("error batch: %+v err=%v", got, err)
+	}
+	// A mangled last-flag byte must be rejected.
+	bad := append([]byte(nil), b...)
+	bad[4] = 2
+	if _, err := DecodeScanBatch(bad); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("bad flag err = %v", err)
+	}
+	// A hostile image count must be rejected before allocation.
+	hostile := AppendScanBatch(nil, &ScanBatch{Seq: 0})
+	hostile = hostile[:len(hostile)-4]
+	hostile = append(hostile, 0xFF, 0xFF, 0xFF, 0xFF)
+	if _, err := DecodeScanBatch(hostile); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("hostile count err = %v", err)
+	}
+}
+
+func TestScanCtlRoundTrip(t *testing.T) {
+	b := AppendScanCtl(nil, false, 1<<20)
+	cancel, credit, err := DecodeScanCtl(b)
+	if err != nil || cancel || credit != 1<<20 {
+		t.Fatalf("cancel=%v credit=%d err=%v", cancel, credit, err)
+	}
+	cancel, credit, err = DecodeScanCtl(AppendScanCtl(nil, true, 0))
+	if err != nil || !cancel || credit != 0 {
+		t.Fatalf("cancel: cancel=%v credit=%d err=%v", cancel, credit, err)
+	}
+	bad := append([]byte(nil), b...)
+	bad[0] = 7
+	if _, _, err := DecodeScanCtl(bad); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("bad op err = %v", err)
+	}
+	if _, _, err := DecodeScanCtl(append(b, 0)); !errors.Is(err, ErrBadMessage) {
+		t.Fatalf("trailing err = %v", err)
+	}
+}
+
+// TestScanBatchCanonical: encodings are byte-identical after a decode/encode
+// cycle, so golden wire tests and dedup on raw frames stay valid.
+func TestScanBatchCanonical(t *testing.T) {
+	in := &ScanBatch{
+		Seq: 3,
+		Err: "",
+		Images: []SegImage{
+			{Seg: SegKey{Area: 4, Start: 12288}, Slotted: []byte("x"), Data: bytes.Repeat([]byte("y"), 100)},
+		},
+	}
+	b := AppendScanBatch(nil, in)
+	got, err := DecodeScanBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re := AppendScanBatch(nil, got); !bytes.Equal(re, b) {
+		t.Fatalf("re-encode differs:\n in: %x\nout: %x", b, re)
+	}
+}

@@ -15,8 +15,8 @@ import (
 // header:
 //
 //	offset  size  field
-//	0       8     request id
-//	8       1     flags (bit0 reply, bit1 error, bit2 named method)
+//	0       8     request id (stream id on stream frames)
+//	8       1     flags (bit0 reply, bit1 error, bit2 named method, bit3 stream)
 //	9       2     method id (0 on replies and named-method frames)
 //	11      4     payload length N
 //	15      N     payload
@@ -30,6 +30,12 @@ import (
 // payload with a 2-byte name length and the method name, keeping the
 // protocol open to tests and future methods without burning ids.
 //
+// Stream frames (flagStream) are one-way: the id field names a stream (a
+// scan id) instead of a pending request, no reply is ever matched, and the
+// reply/error bits must be clear. They carry the push half of the scan
+// pipeline (server→client data) and its flow control (client→server
+// credit/cancel) — see DESIGN.md §6.
+//
 // Every length is bounds-checked before anything is allocated, so a corrupt
 // or hostile prefix cannot drive a huge allocation, and a successful decode
 // always re-encodes to the identical bytes (the encoding is canonical —
@@ -37,11 +43,12 @@ import (
 const (
 	frameHdrLen = 15
 
-	flagReply uint8 = 1 << 0 // frame answers the request with the same id
-	flagError uint8 = 1 << 1 // reply payload is an error message
-	flagNamed uint8 = 1 << 2 // payload starts with u16 name length + name
+	flagReply  uint8 = 1 << 0 // frame answers the request with the same id
+	flagError  uint8 = 1 << 1 // reply payload is an error message
+	flagNamed  uint8 = 1 << 2 // payload starts with u16 name length + name
+	flagStream uint8 = 1 << 3 // one-way stream frame: id is a stream id, no reply
 
-	flagsKnown = flagReply | flagError | flagNamed
+	flagsKnown = flagReply | flagError | flagNamed | flagStream
 
 	// maxPayload bounds one frame (a commit can ship many segment images).
 	maxPayload = 1 << 30
@@ -86,6 +93,9 @@ var methodNames = [...]string{
 	30: "NameUnbind",
 	31: "NameRemoveOID",
 	32: "Callback",
+	33: "ScanStart",
+	34: "ScanData",
+	35: "ScanCtl",
 }
 
 var methodIDs = func() map[string]uint16 {
@@ -138,6 +148,9 @@ func parseHeader(hdr *[frameHdrLen]byte) (frame, int, error) {
 	}
 	if f.flags&flagNamed != 0 && f.method != 0 {
 		return frame{}, 0, fmt.Errorf("%w: named frame carries method id %d", ErrBadFrame, f.method)
+	}
+	if f.flags&flagStream != 0 && f.flags&(flagReply|flagError) != 0 {
+		return frame{}, 0, fmt.Errorf("%w: stream frame carries reply flags %#02x", ErrBadFrame, f.flags)
 	}
 	if plen > maxPayload {
 		return frame{}, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, plen, maxPayload)

@@ -39,6 +39,17 @@ func TestGoldenWireFormat(t *testing.T) {
 			},
 		},
 		{
+			name: "stream/table-method/body",
+			f:    frame{id: 7, flags: flagStream, method: 34, body: []byte{0xC0, 0xDE}},
+			want: []byte{
+				0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x07, // stream id
+				0x08,       // flags: stream
+				0x00, 0x22, // method id (ScanData)
+				0x00, 0x00, 0x00, 0x02, // payload length
+				0xC0, 0xDE, // body
+			},
+		},
+		{
 			name: "reply/empty",
 			f:    frame{id: 3, flags: flagReply},
 			want: []byte{
@@ -91,7 +102,8 @@ func TestMethodIDTablePinned(t *testing.T) {
 		"Prepare": 19, "Decide": 20, "SegmentsOf": 21, "Released": 22,
 		"CreateLarge": 23, "AllocRun": 24, "FreeRun": 25, "ReadRun": 26,
 		"WriteRun": 27, "NameBind": 28, "NameLookup": 29, "NameUnbind": 30,
-		"NameRemoveOID": 31, "Callback": 32,
+		"NameRemoveOID": 31, "Callback": 32, "ScanStart": 33, "ScanData": 34,
+		"ScanCtl": 35,
 	}
 	if len(methodIDs) != len(want) {
 		t.Fatalf("method table has %d entries, want %d", len(methodIDs), len(want))
@@ -115,6 +127,16 @@ func TestFrameDecodeRejects(t *testing.T) {
 		{"named with method id", func() []byte {
 			b := append([]byte(nil), valid...)
 			b[8] = flagNamed
+			return b
+		}()},
+		{"stream with reply flag", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[8] = flagStream | flagReply
+			return b
+		}()},
+		{"stream with error flag", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[8] = flagStream | flagError
 			return b
 		}()},
 		{"truncated payload", func() []byte {

@@ -14,6 +14,10 @@
 // pattern the WAL uses for group commit, applied to writes instead of
 // fsyncs. Transports: TCP (cmd/bess-server) and net.Pipe for in-process
 // deterministic tests.
+//
+// Besides request/reply, a peer carries one-way stream frames (SendStream /
+// HandleStream): server-pushed scan batches and their credit/cancel flow
+// control, matched by stream id instead of request id (DESIGN.md §6).
 package rpc
 
 import (
@@ -55,6 +59,12 @@ func (e *RemoteError) Error() string { return "rpc: remote: " + e.Msg }
 // its frame and may be retained.
 type Handler func(body []byte) ([]byte, error)
 
+// StreamHandler consumes one one-way stream frame. Stream handlers run
+// synchronously on the read loop so frames of one stream arrive in order;
+// they must hand off promptly and never block on traffic over the same
+// peer. The body aliases the read buffer of its frame and may be retained.
+type StreamHandler func(stream uint64, body []byte)
+
 // Stats are cumulative wire counters. With write coalescing Flushes stays
 // below FramesSent under concurrency: followers whose frame was carried to
 // the socket by another sender's flush count as Coalesced.
@@ -87,10 +97,11 @@ type Peer struct {
 	grouped  int64         // guarded by wmu
 
 	mu       lockcheck.Mutex
-	handlers map[string]Handler    // guarded by mu
-	calls    map[uint64]chan frame // guarded by mu
-	closed   bool                  // guarded by mu
-	closeErr error                 // guarded by mu
+	handlers map[string]Handler       // guarded by mu
+	streams  map[string]StreamHandler // guarded by mu
+	calls    map[uint64]chan frame    // guarded by mu
+	closed   bool                     // guarded by mu
+	closeErr error                    // guarded by mu
 
 	onClose func(error) // guarded by mu; runs once when the read loop exits
 }
@@ -138,6 +149,32 @@ func (p *Peer) Handle(method string, h Handler) {
 	p.mu.Lock()
 	p.handlers[method] = h
 	p.mu.Unlock()
+}
+
+// HandleStream registers a handler for one-way stream frames of method. A
+// stream frame whose method has no handler is silently dropped — frames in
+// flight after a cancel are normal, not an error.
+func (p *Peer) HandleStream(method string, h StreamHandler) {
+	p.mu.Lock()
+	if p.streams == nil {
+		p.streams = make(map[string]StreamHandler)
+	}
+	p.streams[method] = h
+	p.mu.Unlock()
+}
+
+// SendStream sends a one-way stream frame: no reply is expected or matched.
+// The bytes ride the same coalescing writer as requests and replies, so
+// stream data interleaves with — and never starves — regular traffic.
+func (p *Peer) SendStream(method string, stream uint64, body []byte) error {
+	f := frame{id: stream, flags: flagStream, body: body}
+	if mid, ok := methodIDs[method]; ok {
+		f.method = mid
+	} else {
+		f.flags |= flagNamed
+		f.name = method
+	}
+	return p.send(&f)
 }
 
 // HandleFunc registers a typed gob handler: args is decoded into a fresh A.
@@ -328,6 +365,17 @@ func (p *Peer) readLoop() {
 		var f frame
 		if f, err = readFrame(br); err != nil {
 			break
+		}
+		if f.flags&flagStream != 0 {
+			// Stream frames dispatch synchronously: per-stream ordering is
+			// the point, and handlers are required to hand off promptly.
+			p.mu.Lock()
+			h := p.streams[f.name]
+			p.mu.Unlock()
+			if h != nil {
+				h(f.id, f.body)
+			}
+			continue
 		}
 		if f.flags&flagReply != 0 {
 			p.mu.Lock()

@@ -43,6 +43,9 @@ func ServePeer(s *Server, p *rpc.Peer) {
 		}
 	})
 
+	// Streaming scans: ScanStart plus the ScanData/ScanCtl stream pair.
+	serveScan(s, p)
+
 	rpc.HandleFunc(p, "OpenDB", func(a *proto.OpenDBArgs) (*proto.OpenDBReply, error) {
 		db, host, err := s.OpenDB(a.Name, a.Create)
 		if err != nil {
