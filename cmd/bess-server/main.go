@@ -11,6 +11,11 @@
 // (aborting their in-flight transactions via the same path a dropped
 // connection takes), write a final checkpoint, and close the areas. A
 // second signal forces immediate exit.
+//
+// Goroutines here carry stop evidence for bess-vet's golife analyzer
+// (DESIGN.md §4e); the two process-lifetime daemons are waived explicitly.
+//
+//bess:golife
 package main
 
 import (
@@ -46,6 +51,7 @@ func main() {
 	log.Printf("bess-server host=%d dir=%s listening on %s", *host, *dir, l.Addr())
 
 	if *ckptEvery > 0 {
+		//bess:golife ignore=checkpoint ticker runs for the process lifetime
 		go func() {
 			t := time.NewTicker(*ckptEvery)
 			defer t.Stop()
@@ -58,28 +64,32 @@ func main() {
 	}
 
 	// Track live peers so shutdown can disconnect them and wait for their
-	// read loops (and thus their Disconnect-abort hooks) to finish.
+	// read loops (and thus their Disconnect-abort hooks) to finish. Each
+	// peer gets its own done channel, closed by its OnClose hook; shutdown
+	// drains the channels of the peers it saw under a deadline. (A shared
+	// WaitGroup would race: Add from this goroutine against main's Wait.)
 	var (
 		peerMu sync.Mutex
-		peers  = make(map[*rpc.Peer]struct{})
-		live   sync.WaitGroup
+		peers  = make(map[*rpc.Peer]chan struct{})
 	)
+	acceptDone := make(chan struct{})
 	go func() {
+		defer close(acceptDone)
 		for {
 			p, err := l.Accept()
 			if err != nil {
 				return
 			}
 			server.ServePeer(srv, p)
+			gone := make(chan struct{})
 			peerMu.Lock()
-			peers[p] = struct{}{}
+			peers[p] = gone
 			peerMu.Unlock()
-			live.Add(1)
 			p.SetOnClose(func(error) {
 				peerMu.Lock()
 				delete(peers, p)
 				peerMu.Unlock()
-				live.Done()
+				close(gone)
 			})
 		}
 	}()
@@ -88,6 +98,7 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+	//bess:golife ignore=second-signal watcher runs until the forced exit
 	go func() {
 		<-sig
 		log.Fatalf("second signal: forcing exit")
@@ -100,21 +111,29 @@ func main() {
 	if err := l.Close(); err != nil {
 		log.Printf("close listener: %v", err)
 	}
+	<-acceptDone // no new peers can register past this point
 	peerMu.Lock()
-	open := make([]*rpc.Peer, 0, len(peers))
-	for p := range peers {
-		open = append(open, p)
+	open := make(map[*rpc.Peer]chan struct{}, len(peers))
+	for p, gone := range peers {
+		open[p] = gone
 	}
 	peerMu.Unlock()
-	for _, p := range open {
+	for p := range open {
 		p.Close()
 	}
-	drained := make(chan struct{})
-	go func() { live.Wait(); close(drained) }()
-	select {
-	case <-drained:
-	case <-time.After(*drain):
-		log.Printf("drain budget (%v) exhausted with peers still live", *drain)
+	deadline := time.Now().Add(*drain)
+	stranded := 0
+	for _, gone := range open {
+		t := time.NewTimer(time.Until(deadline))
+		select {
+		case <-gone:
+			t.Stop()
+		case <-t.C:
+			stranded++
+		}
+	}
+	if stranded > 0 {
+		log.Printf("drain budget (%v) exhausted with %d peer(s) still live", *drain, stranded)
 	}
 
 	// A final checkpoint keeps the next restart's analysis pass short. Its

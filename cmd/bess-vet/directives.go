@@ -16,6 +16,8 @@ import (
 //	// guarded by mu                   (struct field annotation)
 //	//bess:resource acquire=F release=G [sink=T.f[,T.g]] [mode=owned|pinned]
 //	//bess:codecsym                    (package opts into codec symmetry)
+//	//bess:golife                      (package opts into goroutine lifecycle)
+//	//bess:golife ignore=<reason>      (waives the go statement on/under it)
 type directives struct {
 	// rank maps a lock class ("Server.areaMu") to its position in the
 	// declared hierarchy (1-based; outermost lowest). 0 = unranked.
@@ -29,15 +31,23 @@ type directives struct {
 
 	resources []*resourceDecl // //bess:resource pairs, all packages
 	codecsym  map[string]bool // package path -> opted into codecsym
+
+	golife map[string]bool // package path -> opted into goroutine lifecycle
+	// golifeIgnores maps file -> line -> waiver reason. A waiver applies to
+	// a spawn on the same line (trailing comment) or on the line below it
+	// (comment-above style). An empty reason is itself a finding.
+	golifeIgnores map[string]map[int]string
 }
 
 func newDirectives() *directives {
 	return &directives{
-		rank:       make(map[string]int),
-		holds:      make(map[*types.Func]string),
-		prepublish: make(map[*types.Func]bool),
-		guarded:    make(map[*types.Var]string),
-		codecsym:   make(map[string]bool),
+		rank:          make(map[string]int),
+		holds:         make(map[*types.Func]string),
+		prepublish:    make(map[*types.Func]bool),
+		guarded:       make(map[*types.Var]string),
+		codecsym:      make(map[string]bool),
+		golife:        make(map[string]bool),
+		golifeIgnores: make(map[string]map[int]string),
 	}
 }
 
@@ -80,6 +90,23 @@ func (d *directives) collect(p *pkg) error {
 				}
 				if text == "bess:codecsym" {
 					d.codecsym[p.path] = true
+				}
+				if text == "bess:golife" {
+					d.golife[p.path] = true
+				}
+				if rest, ok := strings.CutPrefix(text, "bess:golife "); ok {
+					rest = strings.TrimSpace(rest)
+					if reason, ok := strings.CutPrefix(rest, "ignore="); ok {
+						pos := p.fset.Position(c.Pos())
+						m := d.golifeIgnores[pos.Filename]
+						if m == nil {
+							m = make(map[int]string)
+							d.golifeIgnores[pos.Filename] = m
+						}
+						m[pos.Line] = strings.TrimSpace(reason)
+					} else if rest != "" {
+						return fmt.Errorf("//bess:golife: unknown clause %q (want bare or ignore=<reason>)", rest)
+					}
 				}
 			}
 		}

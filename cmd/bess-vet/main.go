@@ -16,6 +16,14 @@
 //     64-bit atomics must be 8-aligned under the 32-bit layout.
 //   - codecsym: Append*/Decode* pairs in //bess:codecsym packages write and
 //     read the same field sequence (count, order, width).
+//   - golife: every goroutine spawned in a //bess:golife package has a
+//     provable stop path (done-channel close, stop flag, WaitGroup join,
+//     or error-break on a closable source), or an explicit
+//     //bess:golife ignore=<reason> waiver.
+//   - chanflow: channel protocol discipline in //bess:golife packages —
+//     no double-close or send-after-close on any path, no unbuffered sends
+//     from goroutines without a select escape, no WaitGroup.Add inside the
+//     spawned goroutine.
 //
 // Usage:
 //
@@ -41,7 +49,7 @@ import (
 func main() {
 	var (
 		dir     = flag.String("C", ".", "module directory to analyze")
-		only    = flag.String("only", "", "comma-separated analyzer subset (lockorder,durability,guarded,defers,poollife,atomicmix,codecsym)")
+		only    = flag.String("only", "", "comma-separated analyzer subset (lockorder,durability,guarded,defers,poollife,atomicmix,codecsym,golife,chanflow)")
 		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	)
 	flag.Parse()
@@ -131,6 +139,7 @@ func run(dir string, patterns []string, only string) ([]finding, error) {
 		enabled = map[string]bool{
 			"lockorder": true, "durability": true, "guarded": true, "defers": true,
 			"poollife": true, "atomicmix": true, "codecsym": true,
+			"golife": true, "chanflow": true,
 		}
 	} else {
 		for _, a := range strings.Split(only, ",") {
@@ -159,6 +168,12 @@ func run(dir string, patterns []string, only string) ([]finding, error) {
 	}
 	if enabled["codecsym"] {
 		analyzeCodecSym(pkgs, dirs, r)
+	}
+	if enabled["golife"] {
+		analyzeGoLife(pkgs, dirs, r)
+	}
+	if enabled["chanflow"] {
+		analyzeChanFlow(pkgs, dirs, r)
 	}
 	return r.sorted(), nil
 }

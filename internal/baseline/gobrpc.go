@@ -15,6 +15,13 @@ import (
 // the whole frame is gob'd onto the socket), every frame is an unbuffered
 // connection write, and request ids come from a mutex. E12 measures the new
 // binary framed protocol (internal/rpc) against this.
+//
+// The goroutines here carry stop evidence for bess-vet's golife analyzer
+// (DESIGN.md §4e) just like internal/rpc's: the read loop breaks on the
+// closable connection, and dispatch goroutines join a WaitGroup drained by
+// Close.
+//
+//bess:golife
 
 // ErrGobClosed reports a call on a torn-down GobPeer.
 var ErrGobClosed = errors.New("baseline: gob rpc connection closed")
@@ -42,6 +49,8 @@ type GobPeer struct {
 	pending  map[uint64]chan gobFrame
 	nextID   uint64
 	closed   bool
+
+	dg sync.WaitGroup // in-flight dispatch goroutines; drained by Close
 }
 
 // NewGobPeer wraps a connection and starts the read loop.
@@ -126,7 +135,11 @@ func (p *GobPeer) readLoop() {
 			}
 			continue
 		}
-		go p.dispatch(f)
+		p.dg.Add(1)
+		go func() {
+			defer p.dg.Done()
+			p.dispatch(f)
+		}()
 	}
 	p.shutdown()
 }
@@ -161,10 +174,12 @@ func (p *GobPeer) shutdown() {
 	p.conn.Close()
 }
 
-// Close tears the connection down.
+// Close tears the connection down and drains in-flight dispatches. The
+// drain cannot hang: the closed connection fails their reply sends fast.
 func (p *GobPeer) Close() error {
 	err := p.conn.Close()
 	p.shutdown()
+	p.dg.Wait()
 	return err
 }
 

@@ -2,6 +2,13 @@
 // benchmarks (bench_test.go) and the bess-bench tool. Each experiment Ei
 // reproduces a figure or performance claim of the paper; DESIGN.md §4 maps
 // them to paper sections and EXPERIMENTS.md records representative output.
+//
+// Harness goroutines — acceptors, workers, updaters — are spawned through
+// goleak.Go and joined on every exit path, so a failed run cannot strand
+// senders; bess-vet's golife analyzer enforces the stop evidence
+// (DESIGN.md §4e):
+//
+//bess:golife
 package bench
 
 import (

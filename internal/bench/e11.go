@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"bess/internal/goleak"
 	"bess/internal/proto"
 	"bess/internal/segment"
 	"bess/internal/server"
@@ -72,7 +73,7 @@ func RunE11(clients, commitsPerClient int) E11Result {
 	var wg sync.WaitGroup
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
-		go func(c int) {
+		goleak.Go("bench.e11Worker", func() {
 			defer wg.Done()
 			for i := 0; i < commitsPerClient; i++ {
 				t0 := time.Now()
@@ -82,7 +83,7 @@ func RunE11(clients, commitsPerClient int) E11Result {
 				must(srv.Commit(conns[c], txid, []proto.SegImage{imgs[c][i%2]}))
 				lat.Observe(time.Since(t0))
 			}
-		}(c)
+		})
 	}
 	wg.Wait()
 	elapsed := time.Since(start)

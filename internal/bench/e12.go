@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bess/internal/baseline"
+	"bess/internal/goleak"
 	"bess/internal/proto"
 	"bess/internal/rpc"
 )
@@ -76,7 +77,9 @@ var e12Seg = proto.SegKey{Area: 1, Start: 128}
 func e12Binary(payload []byte) *e12Caller {
 	l, err := rpc.Listen("127.0.0.1:0")
 	must(err)
-	go func() {
+	done := make(chan struct{})
+	goleak.Go("bench.e12Accept", func() {
+		defer close(done)
 		for {
 			p, err := l.Accept()
 			if err != nil {
@@ -95,7 +98,7 @@ func e12Binary(payload []byte) *e12Caller {
 				return proto.EncodeSegImage(&proto.SegImage{Seg: e12Seg, Data: payload}), nil
 			})
 		}
-	}()
+	})
 	c, err := rpc.Dial(l.Addr())
 	must(err)
 	return &e12Caller{
@@ -115,7 +118,7 @@ func e12Binary(payload []byte) *e12Caller {
 			return len(img.Data), nil
 		},
 		stats: c.WireStats,
-		close: func() { c.Close(); l.Close() },
+		close: func() { c.Close(); l.Close(); <-done },
 	}
 }
 
@@ -123,7 +126,9 @@ func e12Binary(payload []byte) *e12Caller {
 func e12Gob(payload []byte) *e12Caller {
 	l, err := baseline.GobListen("127.0.0.1:0")
 	must(err)
-	go func() {
+	done := make(chan struct{})
+	goleak.Go("bench.e12GobAccept", func() {
+		defer close(done)
 		for {
 			p, err := l.Accept()
 			if err != nil {
@@ -136,7 +141,7 @@ func e12Gob(payload []byte) *e12Caller {
 				return gobBody(&proto.SegImage{Seg: e12Seg, Data: payload}), nil
 			})
 		}
-	}()
+	})
 	c, err := baseline.GobDial(l.Addr())
 	must(err)
 	return &e12Caller{
@@ -151,7 +156,7 @@ func e12Gob(payload []byte) *e12Caller {
 			return len(img.Data), nil
 		},
 		stats: func() rpc.Stats { return rpc.Stats{} },
-		close: func() { c.Close(); l.Close() },
+		close: func() { c.Close(); l.Close(); <-done },
 	}
 }
 
@@ -175,20 +180,30 @@ func RunE12(mode string, concurrency, callsPerWorker int) E12Result {
 	before := c.stats()
 	var lat Hist
 	start := time.Now()
+	// Workers record their first failure and bail instead of panicking:
+	// the join below always completes, and must() fires after it, so a
+	// failed run never strands its siblings mid-call.
+	errs := make([]error, concurrency)
 	var wg sync.WaitGroup
 	for w := 0; w < concurrency; w++ {
 		wg.Add(1)
-		go func() {
+		goleak.Go("bench.e12Worker", func() {
 			defer wg.Done()
 			for i := 0; i < callsPerWorker; i++ {
 				t0 := time.Now()
-				must(c.lock())
+				if err := c.lock(); err != nil {
+					errs[w] = err
+					return
+				}
 				lat.Observe(time.Since(t0))
 			}
-		}()
+		})
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	for _, err := range errs {
+		must(err)
+	}
 	after := c.stats()
 	calls := concurrency * callsPerWorker
 	return E12Result{

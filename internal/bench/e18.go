@@ -11,6 +11,7 @@ import (
 	"bess/internal/client"
 	"bess/internal/core"
 	"bess/internal/fault"
+	"bess/internal/goleak"
 	"bess/internal/proto"
 	"bess/internal/rpc"
 	"bess/internal/segment"
@@ -34,19 +35,22 @@ var e18BlobType = segment.TypeDesc{Name: "E18Blob", Size: 0}
 
 // E18Env is one populated server reachable over loopback TCP.
 type E18Env struct {
-	dir   string
-	srv   *server.Server
-	lis   *rpc.Listener
-	db    uint32   // database id
-	Files []uint32 // populated file ids
-	Segs  int      // segments per file
-	Objs  int      // objects per segment
-	Blob  int      // payload bytes per object
+	dir        string
+	srv        *server.Server
+	lis        *rpc.Listener
+	acceptDone chan struct{} // closed when the accept loop exits
+	db         uint32        // database id
+	Files      []uint32      // populated file ids
+	Segs       int           // segments per file
+	Objs       int           // objects per segment
+	Blob       int           // payload bytes per object
 }
 
-// Close shuts the listener, server, and backing directory down.
+// Close shuts the listener, server, and backing directory down, joining the
+// accept loop so no goroutine outlives the environment.
 func (e *E18Env) Close() {
 	e.lis.Close()
+	<-e.acceptDone
 	must(e.srv.Close())
 	os.RemoveAll(e.dir)
 }
@@ -92,7 +96,9 @@ func SetupE18(files, segsPerFile, objsPerSeg, blobLen int) *E18Env {
 	must(err)
 	lis, err := rpc.Listen("127.0.0.1:0")
 	must(err)
-	go func() {
+	acceptDone := make(chan struct{})
+	goleak.Go("bench.e18Accept", func() {
+		defer close(acceptDone)
 		for {
 			p, err := lis.Accept()
 			if err != nil {
@@ -100,9 +106,9 @@ func SetupE18(files, segsPerFile, objsPerSeg, blobLen int) *E18Env {
 			}
 			server.ServePeer(srv, p)
 		}
-	}()
+	})
 
-	env := &E18Env{dir: dir, srv: srv, lis: lis, Segs: segsPerFile, Objs: objsPerSeg, Blob: blobLen}
+	env := &E18Env{dir: dir, srv: srv, lis: lis, acceptDone: acceptDone, Segs: segsPerFile, Objs: objsPerSeg, Blob: blobLen}
 	p, err := rpc.Dial(lis.Addr())
 	must(err)
 	s, err := client.Open(client.NewRemote(p), "e18-setup", "e18", true)
@@ -307,7 +313,7 @@ func RunE18Mixed(env *E18Env, mode string, scanFile, updFile uint32, lan bool) E
 	var commits int
 	var wg sync.WaitGroup
 	wg.Add(1)
-	go func() {
+	goleak.Go("bench.e18Updater", func() {
 		defer wg.Done()
 		payload := make([]byte, 128)
 		for {
@@ -329,11 +335,18 @@ func RunE18Mixed(env *E18Env, mode string, scanFile, updFile uint32, lan bool) E
 			lat.Observe(time.Since(t0))
 			commits += 2
 		}
-	}()
+	})
+	// Join on every exit path: a scan that panics mid-run must not strand
+	// the updater against a server the deferred Closes are tearing down.
+	var stopOnce sync.Once
+	join := func() {
+		stopOnce.Do(func() { close(stop) })
+		wg.Wait()
+	}
+	defer join()
 
 	scan := RunE18Scan(env, mode, scanFile, lan)
-	close(stop)
-	wg.Wait()
+	join()
 	return E18Mixed{
 		Scan:          scan,
 		UpdateCommits: commits,

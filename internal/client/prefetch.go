@@ -23,6 +23,12 @@ import (
 // Flow control is credit-based in image bytes: the window opens with one
 // ScanCtl grant after the stream is registered (no push can race the
 // registration), and every consumed image tops the window back up.
+//
+// The prefetcher deliberately spawns nothing: delivery runs on the peer's
+// read loop and the iterator runs on the caller. Any future goroutine here
+// must carry stop evidence for bess-vet's golife analyzer (DESIGN.md §4e):
+//
+//bess:golife
 
 // Streaming scan tuning. The window is the push budget granted to the
 // server; the pool holds twice that so slow consumers spill rarely.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bess/internal/fault"
+	"bess/internal/goleak"
 	"bess/internal/proto"
 	"bess/internal/rpc"
 	"bess/internal/segment"
@@ -175,6 +176,7 @@ func TestStreamScanCancelMidStream(t *testing.T) {
 	}
 	checkNoPinnedFrames(t, s)
 	waitGoroutines(t, base)
+	goleak.Check(t, "server.") // cursor and sender must both be gone
 }
 
 func waitGoroutines(t *testing.T, base int) {
@@ -243,6 +245,7 @@ func TestStreamScanFaultInjection(t *testing.T) {
 		checkNoPinnedFrames(t, s)
 		cli.Close()
 		waitGoroutines(t, base)
+		goleak.Check(t, "server.")
 	})
 	t.Run("drop", func(t *testing.T) {
 		base := runtime.NumGoroutine()
@@ -261,6 +264,7 @@ func TestStreamScanFaultInjection(t *testing.T) {
 		checkNoPinnedFrames(t, s)
 		cli.Close()
 		waitGoroutines(t, base)
+		goleak.Check(t, "server.")
 	})
 }
 

@@ -9,6 +9,11 @@
 // A Database talks to a BeSS server through any proto.Conn: a direct server
 // handle (the open-server configuration), an RPC connection, or a node
 // server.
+//
+// Scan worker goroutines are spawned through goleak.Go and carry stop
+// evidence for bess-vet's golife analyzer (DESIGN.md §4e):
+//
+//bess:golife
 package core
 
 import (
@@ -17,6 +22,7 @@ import (
 	"sync"
 
 	"bess/internal/client"
+	"bess/internal/goleak"
 	"bess/internal/largeobj"
 	"bess/internal/oid"
 	"bess/internal/page"
@@ -378,7 +384,7 @@ func StreamScanFiles(open func(i int) (proto.Conn, error), dbName string, files 
 	var wg sync.WaitGroup
 	for i, fileID := range files {
 		wg.Add(1)
-		go func(i int, fileID uint32) {
+		goleak.Go("core.streamScan", func() {
 			defer wg.Done()
 			conn, err := open(i)
 			if err != nil {
@@ -406,7 +412,7 @@ func StreamScanFiles(open func(i int) (proto.Conn, error), dbName string, files 
 				return
 			}
 			errCh <- sess.Commit()
-		}(i, fileID)
+		})
 	}
 	wg.Wait()
 	close(errCh)
@@ -434,7 +440,7 @@ func (f *File) ParallelScan(conn proto.Conn, dbName string, workers int, fn func
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(w int) {
+		goleak.Go("core.parallelScan", func() {
 			defer wg.Done()
 			sess, err := client.Open(conn, fmt.Sprintf("scan-%d", w), dbName, false)
 			if err != nil {
@@ -459,7 +465,7 @@ func (f *File) ParallelScan(conn proto.Conn, dbName string, workers int, fn func
 				}
 			}
 			errCh <- sess.Commit()
-		}(w)
+		})
 	}
 	wg.Wait()
 	close(errCh)

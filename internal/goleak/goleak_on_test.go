@@ -1,0 +1,79 @@
+//go:build goleak
+
+package goleak
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+type fakeTB struct{ msgs []string }
+
+func (f *fakeTB) Helper() {}
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.msgs = append(f.msgs, strings.ReplaceAll(format, "%", "")+join(args))
+}
+
+func join(args []any) string {
+	var b strings.Builder
+	for _, a := range args {
+		b.WriteString(" ")
+		if s, ok := a.(string); ok {
+			b.WriteString(s)
+		}
+	}
+	return b.String()
+}
+
+func TestGoTracksAndClears(t *testing.T) {
+	release := make(chan struct{})
+	Go("test.blocked", func() { <-release })
+	if live := Live("test."); len(live) != 1 || live[0] != "test.blocked" {
+		t.Fatalf("Live = %v, want [test.blocked]", live)
+	}
+	close(release)
+	Check(t, "test.")
+	if live := Live("test."); len(live) != 0 {
+		t.Fatalf("Live after drain = %v, want empty", live)
+	}
+}
+
+func TestCheckReportsLeakBySite(t *testing.T) {
+	old := checkBudget
+	checkBudget = 50 * time.Millisecond
+	defer func() { checkBudget = old }()
+
+	release := make(chan struct{})
+	Go("test.leak", func() { <-release })
+	Go("test.leak", func() { <-release })
+
+	var f fakeTB
+	Check(&f, "test.leak")
+	if len(f.msgs) != 1 || !strings.Contains(f.msgs[0], "test.leak x2") {
+		t.Fatalf("Check reported %q, want one message naming test.leak x2", f.msgs)
+	}
+
+	// A prefix that matches nothing passes even while the leak is live.
+	var g fakeTB
+	Check(&g, "other.")
+	if len(g.msgs) != 0 {
+		t.Fatalf("prefix-filtered Check reported %q, want none", g.msgs)
+	}
+
+	close(release)
+	Check(t, "test.leak")
+}
+
+func TestGoClearsOnPanic(t *testing.T) {
+	done := make(chan struct{})
+	Go("test.panics", func() {
+		defer func() {
+			recover()
+			close(done)
+		}()
+		panic("boom")
+	})
+	<-done
+	Check(t, "test.panics")
+}

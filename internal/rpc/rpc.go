@@ -18,6 +18,11 @@
 // Besides request/reply, a peer carries one-way stream frames (SendStream /
 // HandleStream): server-pushed scan batches and their credit/cancel flow
 // control, matched by stream id instead of request id (DESIGN.md §6).
+//
+// Every goroutine here is spawned through goleak.Go and must carry stop
+// evidence for bess-vet's golife analyzer (DESIGN.md §4e):
+//
+//bess:golife
 package rpc
 
 import (
@@ -30,7 +35,9 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"bess/internal/goleak"
 	"bess/internal/lockcheck"
 )
 
@@ -80,6 +87,11 @@ type Peer struct {
 	conn io.ReadWriteCloser
 
 	nextID atomic.Uint64 // request ids, assigned without locking
+
+	// dg counts in-flight request dispatch goroutines so Close can drain
+	// them: a peer closed mid-burst must not strand handlers running
+	// against state the caller is about to tear down.
+	dg sync.WaitGroup
 
 	// Write side: senders append encoded frames to pending; the first to
 	// arrive becomes the leader, detaches the buffer, and writes+flushes it
@@ -138,7 +150,7 @@ func NewPeer(conn io.ReadWriteCloser) *Peer {
 	p.mu.Init("Peer.mu", rankPeerMu)
 	p.wmu.Init("Peer.wmu", rankPeerWmu)
 	p.wcond = sync.NewCond(&p.wmu)
-	go p.readLoop()
+	goleak.Go("rpc.readLoop", p.readLoop)
 	return p
 }
 
@@ -390,8 +402,13 @@ func (p *Peer) readLoop() {
 			continue
 		}
 		// Request: dispatch in its own goroutine so a handler that calls
-		// back over the same peer cannot deadlock the loop.
-		go p.dispatch(f)
+		// back over the same peer cannot deadlock the loop. Each dispatch
+		// joins p.dg so Close can drain the in-flight ones.
+		p.dg.Add(1)
+		goleak.Go("rpc.dispatch", func() {
+			defer p.dg.Done()
+			p.dispatch(f)
+		})
 	}
 	p.shutdown(err)
 }
@@ -452,10 +469,26 @@ func (p *Peer) shutdown(err error) {
 	}
 }
 
-// Close tears the connection down; pending calls fail with ErrClosed.
+// dispatchDrain bounds how long Close waits for in-flight request
+// dispatches. Handlers hand off promptly by contract, and after shutdown
+// their reply sends fail immediately, so the bound only guards against a
+// handler stuck in user code.
+const dispatchDrain = 2 * time.Second
+
+// Close tears the connection down; pending calls fail with ErrClosed. It
+// then drains the in-flight dispatch goroutines, bounded by dispatchDrain.
 func (p *Peer) Close() error {
 	err := p.conn.Close()
 	p.shutdown(ErrClosed)
+	drained := make(chan struct{})
+	goleak.Go("rpc.dispatchDrain", func() {
+		p.dg.Wait()
+		close(drained)
+	})
+	select {
+	case <-drained:
+	case <-time.After(dispatchDrain):
+	}
 	return err
 }
 

@@ -4,8 +4,11 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	"bess/internal/goleak"
 )
 
 type echoArgs struct{ Msg string }
@@ -112,6 +115,9 @@ func TestConcurrentCalls(t *testing.T) {
 // ErrClosed — promptly, not by deadlocking until some transport timeout —
 // and future calls must fail the same way.
 func TestCloseFailsPendingAndFutureCalls(t *testing.T) {
+	// After the deferred release unblocks the handlers, every tracked rpc
+	// goroutine on both peers must wind down (Cleanup runs after defers).
+	t.Cleanup(func() { goleak.Check(t, "rpc.") })
 	a, b := Pipe()
 	release := make(chan struct{})
 	HandleFunc(b, "slow", func(in *echoArgs) (*echoReply, error) {
@@ -139,6 +145,55 @@ func TestCloseFailsPendingAndFutureCalls(t *testing.T) {
 	if err := a.Call("echo", &echoArgs{}, nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("call after close err = %v, want ErrClosed", err)
 	}
+}
+
+// TestCloseMidBurstDrainsDispatch closes a peer while a burst of requests
+// is still executing in its per-frame dispatch goroutines. Close must wait
+// for every in-flight handler (the WaitGroup drain), so no dispatch
+// goroutine outlives the peer, and it must finish well inside the drain
+// budget once the handlers return.
+func TestCloseMidBurstDrainsDispatch(t *testing.T) {
+	a, b := Pipe()
+	var entered, exited atomic.Int32
+	release := make(chan struct{})
+	HandleFunc(b, "slow", func(in *echoArgs) (*echoReply, error) {
+		entered.Add(1)
+		<-release
+		exited.Add(1)
+		return &echoReply{}, nil
+	})
+	const burst = 16
+	done := make(chan error, burst)
+	for i := 0; i < burst; i++ {
+		go func() { done <- a.Call("slow", &echoArgs{}, &echoReply{}) }()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for entered.Load() != burst {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d handlers entered", entered.Load(), burst)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Release the handlers while Close is (most likely) already draining,
+	// so the drain really overlaps live dispatches.
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(release)
+	}()
+	start := time.Now()
+	b.Close()
+	drainTime := time.Since(start)
+	if got := exited.Load(); got != burst {
+		t.Fatalf("Close returned with %d/%d dispatch handlers still running", burst-got, burst)
+	}
+	if drainTime >= dispatchDrain {
+		t.Fatalf("Close took %v, exhausted the %v dispatch drain budget", drainTime, dispatchDrain)
+	}
+	a.Close()
+	for i := 0; i < burst; i++ {
+		<-done
+	}
+	goleak.Check(t, "rpc.")
 }
 
 // TestConcurrentRawCalls hammers CallRaw from many goroutines and then

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"bess/internal/goleak"
 	"bess/internal/oid"
 	"bess/internal/proto"
 	"bess/internal/rpc"
@@ -269,4 +270,6 @@ func TestRPCDisconnectCleans(t *testing.T) {
 	if lockErr != nil {
 		t.Fatalf("lock after disconnect: %v", lockErr)
 	}
+	// The dropped connection must take its tracked goroutines with it.
+	goleak.Check(t, "rpc.", "server.")
 }

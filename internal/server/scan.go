@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bess/internal/goleak"
 	"bess/internal/lockcheck"
 	"bess/internal/proto"
 	"bess/internal/rpc"
@@ -18,6 +19,11 @@ import (
 // images. A batch larger than the whole window may be sent once the full
 // window is available (the overdraw escape), so one giant segment cannot
 // stall the pipeline forever.
+//
+// The cursor and sender goroutines are spawned through goleak.Go and carry
+// stop evidence for bess-vet's golife analyzer (DESIGN.md §4e):
+//
+//bess:golife
 
 // Scan batch sizing: bytes of segment images coalesced into one ScanData
 // frame. The client can ask for a different granularity in ScanStart.
@@ -170,7 +176,7 @@ func serveScan(s *Server, p *rpc.Peer) {
 			plan = append(plan, proto.ScanSeg{Seg: k, SlottedPages: uint32(n)})
 		}
 		c := table.add(client, b, plan)
-		go s.runScan(p, table, c)
+		goleak.Go("server.runScan", func() { s.runScan(p, table, c) })
 		return proto.AppendScanStartReply(nil, c.id, plan), nil
 	})
 
@@ -205,7 +211,7 @@ func (s *Server) runScan(p *rpc.Peer, t *scanTable, c *scanCursor) {
 		sendCh = make(chan push, 2)
 		done   = make(chan struct{})
 	)
-	go func() {
+	goleak.Go("server.scanSender", func() {
 		defer close(done)
 		for sp := range sendCh {
 			if failed.Load() {
@@ -215,7 +221,7 @@ func (s *Server) runScan(p *rpc.Peer, t *scanTable, c *scanCursor) {
 				failed.Store(true)
 			}
 		}
-	}()
+	})
 	// flush encodes the accumulated images and queues the batch for the
 	// sender. An error batch carries no images and is always last.
 	flush := func(last bool, errMsg string) {

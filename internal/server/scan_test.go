@@ -2,9 +2,11 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"bess/internal/goleak"
 	"bess/internal/proto"
 	"bess/internal/rpc"
 )
@@ -181,4 +183,55 @@ func TestRunScanSkipsVanishedSegment(t *testing.T) {
 	if table.lookup(c.id) != nil {
 		t.Fatal("cursor not removed from table")
 	}
+	goleak.Check(t, "server.")
+}
+
+// TestScanCancelReleasesCursorGoroutines cancels a cursor whose sender is
+// blocked waiting for credit and verifies the whole pipeline unwinds: the
+// fetch loop stops, the sender drains, the cursor leaves the table, and
+// (under -tags goleak) no server goroutine stays behind.
+func TestScanCancelReleasesCursorGoroutines(t *testing.T) {
+	s := NewMem(1)
+	defer s.Close()
+	db, _, err := s.OpenDB("canceldb", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := make([]proto.ScanSeg, 0, 3)
+	for i := 0; i < 3; i++ {
+		k, err := s.CreateSegment(db, 3, 1, 2, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan = append(plan, proto.ScanSeg{Seg: k, SlottedPages: 1})
+	}
+
+	cEnd, sEnd := rpc.Pipe()
+	defer cEnd.Close()
+	defer sEnd.Close()
+	var batches atomic.Int32
+	cEnd.HandleStream("ScanData", func(stream uint64, body []byte) { batches.Add(1) })
+
+	// One byte of credit: the overdraw escape lets the first batch out,
+	// then the sender parks in waitCredit with the window deep in debt.
+	table := newScanTable()
+	c := table.add(1, 1, plan)
+	c.grant(false, 1)
+	go s.runScan(sEnd, table, c)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for batches.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no batch arrived before cancel")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.cancel()
+	for table.lookup(c.id) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled cursor never left the table")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	goleak.Check(t, "server.")
 }
