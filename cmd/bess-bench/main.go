@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "run a single experiment (E1..E13, E18)")
+	only := flag.String("only", "", "run a single experiment (E1..E13, E16, E18)")
 	quick := flag.Bool("quick", false, "smaller parameters (CI-sized)")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<name>.json result files")
 	flag.Parse()
@@ -69,6 +69,9 @@ func main() {
 	}
 	if want("E13") {
 		e13(*quick, *jsonOut)
+	}
+	if want("E16") {
+		e16(*quick, *jsonOut)
 	}
 	if want("E18") {
 		e18(*quick, *jsonOut)
@@ -305,6 +308,31 @@ func e12(quick bool, jsonOut bool) {
 	}
 	if jsonOut {
 		writeJSON("E12", report)
+	}
+}
+
+func e16(quick bool, jsonOut bool) {
+	header("E16", "multiversion snapshot reads — read throughput vs writer load (§7)")
+	segs, objs, blob := 64, 16, 256
+	if quick {
+		segs, objs, blob = 16, 8, 128
+	}
+	env := bench.SetupE16(segs, objs, blob)
+	defer env.Close()
+	rep := bench.RunE16(env, quick)
+	fmt.Printf("dataset: %d segments x %d objects, %d-byte blobs\n", rep.Segments, rep.ObjsPerSeg, rep.BlobBytes)
+	fmt.Printf("writer sweep (4 readers, zipf):\n")
+	for _, r := range rep.WriterSweep {
+		fmt.Printf("  %s\n", bench.FormatE16Row(r))
+	}
+	fmt.Printf("read retention at max writers: snap %.2f, 2pl-base %.2f\n",
+		rep.SnapReadRetention, rep.BaseReadRetention)
+	fmt.Printf("mix sweep (4 workers):\n")
+	for _, r := range rep.MixSweep {
+		fmt.Printf("  %s\n", bench.FormatE16Row(r))
+	}
+	if jsonOut {
+		writeJSON("E16", rep)
 	}
 }
 

@@ -134,6 +134,8 @@ func TestCodecPairsPinned(t *testing.T) {
 		"lockargs", "lockobjectargs",
 		"scanbatch", "scanctl", "scanstartargs", "scanstartreply",
 		"section", "segimage", "segkey",
+		"snapcloseargs", "snapfetchargs", "snapopenargs",
+		"snapopenreply", "snapscanstartargs",
 	}
 	sort.Strings(got)
 	if fmt.Sprint(got) != fmt.Sprint(want) {

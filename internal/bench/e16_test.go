@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestE16Smoke runs a miniature E16: one writer-sweep row per mode plus one
+// mixed row per mode, on a tiny dataset and short windows. It asserts the
+// structural properties the experiment's headline rests on — snapshot reads
+// acquire zero locks and refuse no callbacks, the 2PL baseline measurably
+// hits the lock manager, and both op classes make progress — not absolute
+// throughput (BENCH_E16.json records the full-size margins). Race-clean and
+// -short friendly: it is the race/goleak CI smoke for the snapshot stack.
+func TestE16Smoke(t *testing.T) {
+	env := SetupE16(8, 4, 128)
+	defer env.Close()
+
+	dur := 200 * time.Millisecond
+	if testing.Short() {
+		dur = 80 * time.Millisecond
+	}
+	for _, mode := range []string{"base", "snap"} {
+		readers := runE16(env, mode, "zipf", e16Split(2, 2), dur, 1)
+		t.Logf("%s", FormatE16Row(readers))
+		if readers.ReadOps == 0 || readers.WriteOps == 0 {
+			t.Fatalf("%s: no progress (reads=%d writes=%d)", mode, readers.ReadOps, readers.WriteOps)
+		}
+		if readers.ReadLat.Count == 0 || readers.WriteLat.Count == 0 {
+			t.Fatalf("%s: empty latency histograms", mode)
+		}
+		switch mode {
+		case "snap":
+			// Snapshot readers never refuse a revocation callback: writers
+			// are never made to wait on them. (Writer sessions still refuse
+			// each other's callbacks mid-transaction — that is write-write
+			// contention, identical in both modes — so only the pure-reader
+			// sessions are held to zero.)
+			if readers.ReaderRefusals != 0 {
+				t.Fatalf("snapshot readers refused %d callbacks, want 0", readers.ReaderRefusals)
+			}
+			if readers.SnapFetches == 0 {
+				t.Fatal("snap mode never hit SnapFetchSeg")
+			}
+		case "base":
+			if readers.LockAcquires == 0 {
+				t.Fatal("2PL baseline acquired no locks — the comparison is vacuous")
+			}
+		}
+	}
+
+	// A pure-reader snapshot row makes no lock-manager traffic at all.
+	quiet := runE16(env, "snap", "zipf", e16Split(2, 0), dur, 2)
+	if quiet.LockAcquires != 0 {
+		t.Fatalf("reader-only snapshot row acquired %d locks, want 0", quiet.LockAcquires)
+	}
+	if quiet.ReadOps == 0 {
+		t.Fatal("reader-only snapshot row made no reads")
+	}
+}

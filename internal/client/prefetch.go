@@ -284,7 +284,19 @@ func (s *Session) StreamScan(fileID uint32, fn func(addr vmem.Addr, obj *swizzle
 	if window <= 0 {
 		window = defaultScanWindow
 	}
-	scanID, plan, err := s.remote.scanStart(s.client, s.db, fileID, uint32(s.scanBatch))
+	// In snapshot mode the cursor is pinned to the snapshot's stamp: every
+	// pushed image is the as-of version, consistent under concurrent
+	// commits. The pull fallback is equally consistent — the fetcher routes
+	// cold reads to SnapFetchSeg.
+	snapID, inSnap := s.snapState()
+	var scanID uint64
+	var plan []proto.ScanSeg
+	var err error
+	if inSnap {
+		scanID, plan, err = s.remote.snapScanStart(s.client, s.db, fileID, uint32(s.scanBatch), snapID)
+	} else {
+		scanID, plan, err = s.remote.scanStart(s.client, s.db, fileID, uint32(s.scanBatch))
+	}
 	if err != nil {
 		if isNoHandler(err) {
 			return s.Scan(fileID, fn)

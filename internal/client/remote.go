@@ -119,6 +119,15 @@ func (r *Remote) scanStart(client, db, fileID, batchBytes uint32) (uint64, []pro
 	return proto.DecodeScanStartReply(rb)
 }
 
+// snapScanStart opens a streaming scan pinned to a snapshot's stamp.
+func (r *Remote) snapScanStart(client, db, fileID, batchBytes uint32, snap uint64) (uint64, []proto.ScanSeg, error) {
+	rb, err := r.callRaw("SnapScanStart", proto.AppendSnapScanStartArgs(nil, client, db, fileID, batchBytes, snap))
+	if err != nil {
+		return 0, nil, err
+	}
+	return proto.DecodeScanStartReply(rb)
+}
+
 // scanCtl sends one flow-control frame for scan id (credit grant or cancel).
 func (r *Remote) scanCtl(id uint64, cancel bool, credit uint64) error {
 	return r.p.SendStream("ScanCtl", id, proto.AppendScanCtl(nil, cancel, credit))
@@ -251,6 +260,35 @@ func (r *Remote) FetchSeg(client uint32, seg proto.SegKey) ([]byte, []byte, []by
 // FetchLarge implements proto.Conn.
 func (r *Remote) FetchLarge(client uint32, seg proto.SegKey, slot int) ([]byte, error) {
 	return r.callRaw("FetchLarge", proto.AppendFetchLargeArgs(nil, client, seg, slot))
+}
+
+// SnapOpen implements proto.Conn: open a server-side snapshot.
+func (r *Remote) SnapOpen(client uint32) (uint64, uint64, error) {
+	rb, err := r.callRaw("SnapOpen", proto.AppendSnapOpenArgs(nil, client))
+	if err != nil {
+		return 0, 0, err
+	}
+	return proto.DecodeSnapOpenReply(rb)
+}
+
+// SnapClose implements proto.Conn.
+func (r *Remote) SnapClose(client uint32, snap uint64) error {
+	_, err := r.callRaw("SnapClose", proto.AppendSnapCloseArgs(nil, client, snap))
+	return err
+}
+
+// SnapFetchSeg implements proto.Conn: the segment's image as of the
+// snapshot's stamp, without joining the callback protocol.
+func (r *Remote) SnapFetchSeg(client uint32, snap uint64, seg proto.SegKey) ([]byte, []byte, []byte, error) {
+	rb, err := r.callRaw("SnapFetchSeg", proto.AppendSnapFetchArgs(nil, client, snap, seg))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	img, err := proto.DecodeSegImage(rb)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return img.Slotted, img.Overflow, img.Data, nil
 }
 
 // Resolve implements proto.Conn.

@@ -26,6 +26,7 @@ var (
 // Stats are per-session counters: the quantities E2/E6 report.
 type Stats struct {
 	Transactions int64
+	Snapshots    int64 // snapshot transactions opened (E16)
 	LocalGrants  int64 // segment accesses served from the inter-tx cache
 	SegsShipped  int64 // segment images shipped at commits
 	Drops        int64 // cached copies dropped by callbacks
@@ -53,6 +54,16 @@ type Session struct {
 	xLocked      map[proto.SegKey]bool // guarded by mu
 	touched      map[proto.SegKey]bool // guarded by mu
 	dirtySlotted map[proto.SegKey]bool // guarded by mu
+
+	// Snapshot mode (snapshot.go): while snapMode is set the session is a
+	// read-only transaction pinned to snapStamp. snapFetched tracks as-of
+	// images cached by the fetcher and snapDrops the copies revoked during
+	// the snapshot; both are dropped at EndSnapshot.
+	snapMode    bool                   // guarded by mu
+	snapID      uint64                 // guarded by mu
+	snapStamp   uint64                 // guarded by mu
+	snapFetched map[swizzle.SegID]bool // guarded by mu
+	snapDrops   map[proto.SegKey]bool  // guarded by mu
 	// pendingDrops holds callback revocations accepted between
 	// transactions; the application thread applies them at the next Begin
 	// (the mapper is single-threaded by design, so the RPC goroutine never
@@ -209,6 +220,11 @@ func (f *fetcher) SlottedPages(id swizzle.SegID) (int, error) {
 	if ok {
 		return p.pages, nil
 	}
+	if snap, inSnap := f.s.snapState(); inSnap {
+		// The live geometry may postdate the stamp: fetch the as-of image
+		// and answer from it (primed for the FetchSlotted that follows).
+		return f.snapPages(snap, id)
+	}
 	return f.s.conn.SegInfo(segKey(id))
 }
 
@@ -222,6 +238,17 @@ func (f *fetcher) FetchSlotted(id swizzle.SegID) (*segment.Seg, error) {
 	f.mu.Unlock()
 	if ok {
 		sl, ov, data = p.img.Slotted, p.img.Overflow, p.img.Data
+		// A primed image consumed mid-snapshot (the snapshot scan path) is
+		// an as-of image: mark it for the end-of-snapshot drop.
+		if _, inSnap := f.s.snapState(); inSnap {
+			f.s.markSnapFetched(id)
+		}
+	} else if snap, inSnap := f.s.snapState(); inSnap {
+		img, err := f.snapFetch(snap, id)
+		if err != nil {
+			return nil, err
+		}
+		sl, ov, data = img.Slotted, img.Overflow, img.Data
 	} else {
 		var err error
 		sl, ov, data, err = f.s.conn.FetchSeg(f.s.client, segKey(id))
@@ -253,6 +280,13 @@ func (f *fetcher) FetchData(id swizzle.SegID, _ *segment.Seg) ([]byte, error) {
 	if ok {
 		return data, nil
 	}
+	if snap, inSnap := f.s.snapState(); inSnap {
+		img, err := f.snapFetch(snap, id)
+		if err != nil {
+			return nil, err
+		}
+		return img.Data, nil
+	}
 	return f.s.conn.FetchData(f.s.client, segKey(id))
 }
 
@@ -266,6 +300,10 @@ func (f *fetcher) dropStash(id swizzle.SegID) {
 }
 
 func (f *fetcher) FetchLarge(id swizzle.SegID, _ *segment.Seg, slot int) ([]byte, error) {
+	if _, inSnap := f.s.snapState(); inSnap {
+		// FetchLarge takes an S lock server-side; snapshot reads hold none.
+		return nil, ErrSnapLarge
+	}
 	return f.s.conn.FetchLarge(f.s.client, segKey(id), slot)
 }
 
@@ -288,6 +326,10 @@ func (s *Session) onAccess(k detect.PageKey, write bool) error {
 	if !s.inTx {
 		s.mu.Unlock()
 		return ErrNoTx
+	}
+	if s.snapMode && write {
+		s.mu.Unlock()
+		return ErrSnapshotRead
 	}
 	s.markTouchedLocked(key)
 	needLock := write && !s.xLocked[key]
@@ -317,6 +359,15 @@ func (s *Session) onCallback(key proto.SegKey) (refused bool) {
 		return true
 	}
 	defer s.mu.Unlock()
+	// A snapshot always accepts: the revoking writer's commit stamp is
+	// strictly above this snapshot's (the callback precedes its commit,
+	// which follows our stamp pin), so the cached pre-write copy is exactly
+	// the as-of image. It keeps serving until EndSnapshot drops it.
+	if s.snapMode {
+		s.snapDrops[key] = true
+		s.stats.Drops++
+		return false
+	}
 	// Refuse while the current transaction is using this copy; copies of
 	// segments the transaction has not touched may be promised away — the
 	// drop is applied by the application thread before any later access
@@ -460,6 +511,10 @@ func (s *Session) ensureWriteLocks(images []proto.SegImage) error {
 // stays resident for the next transaction.
 func (s *Session) Commit() error {
 	s.mu.Lock()
+	if s.snapMode {
+		s.mu.Unlock()
+		return s.EndSnapshot() // a snapshot commits nothing; just close it
+	}
 	if !s.inTx {
 		s.mu.Unlock()
 		return ErrNoTx
@@ -540,6 +595,10 @@ func (s *Session) FinishCommit(commit bool) error {
 // releases locks.
 func (s *Session) Abort() error {
 	s.mu.Lock()
+	if s.snapMode {
+		s.mu.Unlock()
+		return s.EndSnapshot() // nothing to roll back
+	}
 	if !s.inTx {
 		s.mu.Unlock()
 		return ErrNoTx
@@ -587,6 +646,10 @@ func (s *Session) endTx() {
 // let applications serialize logical conflicts below segment granularity.
 func (s *Session) LockObject(ref vmem.Addr, exclusive bool) error {
 	s.mu.Lock()
+	if s.snapMode {
+		s.mu.Unlock()
+		return ErrSnapshotRead // snapshots hold no locks, S included
+	}
 	if !s.inTx {
 		s.mu.Unlock()
 		return ErrNoTx
@@ -663,6 +726,10 @@ func (s *Session) AddrOfSlot(seg proto.SegKey, slot int) (vmem.Addr, error) {
 // segment is X-locked and its image ships at commit.
 func (s *Session) CreateObject(seg proto.SegKey, typ segment.TypeID, data []byte) (vmem.Addr, error) {
 	s.mu.Lock()
+	if s.snapMode {
+		s.mu.Unlock()
+		return vmem.NilAddr, ErrSnapshotRead
+	}
 	if !s.inTx {
 		s.mu.Unlock()
 		return vmem.NilAddr, ErrNoTx
@@ -720,6 +787,12 @@ func (s *Session) CreateObject(seg proto.SegKey, typ segment.TypeID, data []byte
 // DeleteObject removes the object at ref; its slot's uniquifier is bumped
 // and its name (if it is a root object) is unbound.
 func (s *Session) DeleteObject(ref vmem.Addr) error {
+	s.mu.Lock()
+	if s.snapMode {
+		s.mu.Unlock()
+		return ErrSnapshotRead
+	}
+	s.mu.Unlock()
 	obj, err := s.Deref(ref)
 	if err != nil {
 		return err
@@ -826,6 +899,10 @@ func (s *Session) UnsetRoot(name string) error {
 // local cached copy is refreshed. Fails if the segment is dirty locally.
 func (s *Session) CreateLarge(seg proto.SegKey, typ segment.TypeID, content []byte) (vmem.Addr, error) {
 	s.mu.Lock()
+	if s.snapMode {
+		s.mu.Unlock()
+		return vmem.NilAddr, ErrSnapshotRead
+	}
 	if !s.inTx {
 		s.mu.Unlock()
 		return vmem.NilAddr, ErrNoTx

@@ -334,6 +334,32 @@ func (ns *NodeServer) FetchSeg(local uint32, seg proto.SegKey) ([]byte, []byte, 
 	return sl, ov, d, nil
 }
 
+// SnapOpen forwards: snapshots live on the owning server, whose commit
+// stamps define the version clock. Node-cached images are never served to a
+// snapshot — they track the live state, not the as-of one.
+func (ns *NodeServer) SnapOpen(local uint32) (uint64, uint64, error) {
+	ns.mu.Lock()
+	ns.stats.upstream++
+	ns.mu.Unlock()
+	return ns.up.SnapOpen(ns.client)
+}
+
+// SnapClose forwards.
+func (ns *NodeServer) SnapClose(local uint32, snap uint64) error {
+	ns.mu.Lock()
+	ns.stats.upstream++
+	ns.mu.Unlock()
+	return ns.up.SnapClose(ns.client, snap)
+}
+
+// SnapFetchSeg forwards (as-of images bypass the node image cache).
+func (ns *NodeServer) SnapFetchSeg(local uint32, snap uint64, seg proto.SegKey) ([]byte, []byte, []byte, error) {
+	ns.mu.Lock()
+	ns.stats.upstream++
+	ns.mu.Unlock()
+	return ns.up.SnapFetchSeg(ns.client, snap, seg)
+}
+
 // FetchLarge delegates upstream (large objects are not image-cached).
 func (ns *NodeServer) FetchLarge(local uint32, seg proto.SegKey, slot int) ([]byte, error) {
 	ns.mu.Lock()

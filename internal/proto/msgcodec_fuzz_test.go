@@ -24,6 +24,11 @@ func FuzzMsgCodecRoundTrip(f *testing.F) {
 	}))
 	f.Add(AppendCallbackArgs(nil, SegKey{Area: 8, Start: 9}))
 	f.Add(AppendCallbackReply(nil, true))
+	f.Add(AppendSnapOpenArgs(nil, 7))
+	f.Add(AppendSnapOpenReply(nil, 3, 1<<40))
+	f.Add(AppendSnapCloseArgs(nil, 7, 3))
+	f.Add(AppendSnapFetchArgs(nil, 7, 3, SegKey{Area: 1, Start: 8192}))
+	f.Add(AppendSnapScanStartArgs(nil, 7, 1, 9, 256<<10, 3))
 	// A commit frame cut mid-image: the count promises more than arrives.
 	commit := AppendCommitArgs(nil, 1, 2, []SegImage{{Seg: SegKey{Area: 4, Start: 5}, Data: []byte("xyz")}})
 	f.Add(commit[:len(commit)-3])
@@ -79,6 +84,19 @@ func FuzzMsgCodecRoundTrip(f *testing.F) {
 		if refused, err := DecodeCallbackReply(wire); err == nil {
 			if got := AppendCallbackReply(nil, refused); !bytes.Equal(got, wire) {
 				t.Fatalf("callbackreply not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		// The snapshot-method codecs share the wire style; their dedicated
+		// roundtrip properties live in FuzzSnapCodecRoundTrip, the canonical
+		// check rides along here so cross-method confusions surface.
+		if client, snap, seg, err := DecodeSnapFetchArgs(wire); err == nil {
+			if got := AppendSnapFetchArgs(nil, client, snap, seg); !bytes.Equal(got, wire) {
+				t.Fatalf("snapfetchargs not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if client, db, fileID, batch, snap, err := DecodeSnapScanStartArgs(wire); err == nil {
+			if got := AppendSnapScanStartArgs(nil, client, db, fileID, batch, snap); !bytes.Equal(got, wire) {
+				t.Fatalf("snapscanstartargs not canonical:\n in: %x\nout: %x", wire, got)
 			}
 		}
 
@@ -204,6 +222,26 @@ func TestMsgCodecTruncation(t *testing.T) {
 		}},
 		{"scanctl", AppendScanCtl(nil, false, 1<<20), func(b []byte) error {
 			_, _, err := DecodeScanCtl(b)
+			return err
+		}},
+		{"snapopenargs", AppendSnapOpenArgs(nil, 3), func(b []byte) error {
+			_, err := DecodeSnapOpenArgs(b)
+			return err
+		}},
+		{"snapopenreply", AppendSnapOpenReply(nil, 11, 1<<33), func(b []byte) error {
+			_, _, err := DecodeSnapOpenReply(b)
+			return err
+		}},
+		{"snapcloseargs", AppendSnapCloseArgs(nil, 3, 11), func(b []byte) error {
+			_, _, err := DecodeSnapCloseArgs(b)
+			return err
+		}},
+		{"snapfetchargs", AppendSnapFetchArgs(nil, 3, 11, seg), func(b []byte) error {
+			_, _, _, err := DecodeSnapFetchArgs(b)
+			return err
+		}},
+		{"snapscanstartargs", AppendSnapScanStartArgs(nil, 3, 1, 9, 64<<10, 11), func(b []byte) error {
+			_, _, _, _, _, err := DecodeSnapScanStartArgs(b)
 			return err
 		}},
 	}

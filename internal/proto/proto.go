@@ -122,6 +122,16 @@ type Conn interface {
 	// transactions coordinated by a client or another server.
 	Prepare(client uint32, tx uint64, segs []SegImage) error
 	Decide(tx uint64, commit bool) error
+	// SnapOpen opens a read-only snapshot for the client and returns its id
+	// and version stamp (the commit LSN it observes). Snapshot reads take no
+	// locks and never block writers (DESIGN.md §7).
+	SnapOpen(client uint32) (snap uint64, stamp uint64, err error)
+	// SnapClose releases a snapshot, unpinning its stamp from version GC.
+	SnapClose(client uint32, snap uint64) error
+	// SnapFetchSeg returns the segment's image as of the snapshot's stamp:
+	// a retained version, the current image if unchanged, or a WAL
+	// reconstruction. No callback registration, no locks.
+	SnapFetchSeg(client uint32, snap uint64, seg SegKey) (slotted, overflow, data []byte, err error)
 	// Name directory operations (root objects).
 	NameBind(db uint32, name string, o oid.OID) error
 	NameLookup(db uint32, name string) (oid.OID, error)
@@ -372,6 +382,28 @@ type CallbackReply struct{ Refused bool }
 
 // Empty is the empty reply.
 type Empty struct{}
+
+// SnapOpenArgs opens a snapshot.
+type SnapOpenArgs struct{ Client uint32 }
+
+// SnapOpenReply names the snapshot and its version stamp.
+type SnapOpenReply struct {
+	Snap  uint64
+	Stamp uint64
+}
+
+// SnapCloseArgs releases a snapshot.
+type SnapCloseArgs struct {
+	Client uint32
+	Snap   uint64
+}
+
+// SnapFetchArgs fetches a segment image as of a snapshot's stamp.
+type SnapFetchArgs struct {
+	Client uint32
+	Snap   uint64
+	Seg    SegKey
+}
 
 // PrepareArgs is the 2PC vote request for a distributed branch.
 type PrepareArgs struct {

@@ -1,0 +1,104 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary codecs for the snapshot-read methods (DESIGN.md §7), in the same
+// style as msgcodec.go: big-endian, exact-width length pre-checks, no
+// trailing bytes, canonical. SnapFetchSeg's reply reuses the SegImage
+// codec and SnapScanStart's reply reuses AppendScanStartReply, so only the
+// argument shapes (and SnapOpen's two-word reply) need codecs here.
+// bess-vet's codecsym analyzer checks the pairs for symmetry (the package
+// directive lives in msgcodec.go).
+
+// AppendSnapOpenArgs encodes (client).
+func AppendSnapOpenArgs(b []byte, client uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, client)
+}
+
+// DecodeSnapOpenArgs parses AppendSnapOpenArgs bytes.
+func DecodeSnapOpenArgs(b []byte) (client uint32, err error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("%w: truncated snap-open args", ErrBadMessage)
+	}
+	client = binary.BigEndian.Uint32(b[0:4])
+	return client, wantDone(b[4:])
+}
+
+// AppendSnapOpenReply encodes (snap, stamp).
+func AppendSnapOpenReply(b []byte, snap, stamp uint64) []byte {
+	b = binary.BigEndian.AppendUint64(b, snap)
+	return binary.BigEndian.AppendUint64(b, stamp)
+}
+
+// DecodeSnapOpenReply parses AppendSnapOpenReply bytes.
+func DecodeSnapOpenReply(b []byte) (snap, stamp uint64, err error) {
+	if len(b) < 8+8 {
+		return 0, 0, fmt.Errorf("%w: truncated snap-open reply", ErrBadMessage)
+	}
+	snap = binary.BigEndian.Uint64(b[0:8])
+	stamp = binary.BigEndian.Uint64(b[8:16])
+	return snap, stamp, wantDone(b[16:])
+}
+
+// AppendSnapCloseArgs encodes (client, snap).
+func AppendSnapCloseArgs(b []byte, client uint32, snap uint64) []byte {
+	b = binary.BigEndian.AppendUint32(b, client)
+	return binary.BigEndian.AppendUint64(b, snap)
+}
+
+// DecodeSnapCloseArgs parses AppendSnapCloseArgs bytes.
+func DecodeSnapCloseArgs(b []byte) (client uint32, snap uint64, err error) {
+	if len(b) < 4+8 {
+		return 0, 0, fmt.Errorf("%w: truncated snap-close args", ErrBadMessage)
+	}
+	client = binary.BigEndian.Uint32(b[0:4])
+	snap = binary.BigEndian.Uint64(b[4:12])
+	return client, snap, wantDone(b[12:])
+}
+
+// AppendSnapFetchArgs encodes (client, snap, seg).
+func AppendSnapFetchArgs(b []byte, client uint32, snap uint64, seg SegKey) []byte {
+	b = binary.BigEndian.AppendUint32(b, client)
+	b = binary.BigEndian.AppendUint64(b, snap)
+	return appendSegKey(b, seg)
+}
+
+// DecodeSnapFetchArgs parses AppendSnapFetchArgs bytes.
+func DecodeSnapFetchArgs(b []byte) (client uint32, snap uint64, seg SegKey, err error) {
+	if len(b) < 4+8+12 {
+		return 0, 0, SegKey{}, fmt.Errorf("%w: truncated snap-fetch args", ErrBadMessage)
+	}
+	client = binary.BigEndian.Uint32(b[0:4])
+	snap = binary.BigEndian.Uint64(b[4:12])
+	seg, rest, err := decodeSegKey(b[12:])
+	if err != nil {
+		return 0, 0, SegKey{}, err
+	}
+	return client, snap, seg, wantDone(rest)
+}
+
+// AppendSnapScanStartArgs encodes (client, db, fileID, batchBytes, snap) —
+// the ScanStart argument shape plus the snapshot id the cursor reads as of.
+func AppendSnapScanStartArgs(b []byte, client, db, fileID, batchBytes uint32, snap uint64) []byte {
+	b = binary.BigEndian.AppendUint32(b, client)
+	b = binary.BigEndian.AppendUint32(b, db)
+	b = binary.BigEndian.AppendUint32(b, fileID)
+	b = binary.BigEndian.AppendUint32(b, batchBytes)
+	return binary.BigEndian.AppendUint64(b, snap)
+}
+
+// DecodeSnapScanStartArgs parses AppendSnapScanStartArgs bytes.
+func DecodeSnapScanStartArgs(b []byte) (client, db, fileID, batchBytes uint32, snap uint64, err error) {
+	if len(b) < 4+4+4+4+8 {
+		return 0, 0, 0, 0, 0, fmt.Errorf("%w: truncated snap-scan-start args", ErrBadMessage)
+	}
+	client = binary.BigEndian.Uint32(b[0:4])
+	db = binary.BigEndian.Uint32(b[4:8])
+	fileID = binary.BigEndian.Uint32(b[8:12])
+	batchBytes = binary.BigEndian.Uint32(b[12:16])
+	snap = binary.BigEndian.Uint64(b[16:24])
+	return client, db, fileID, batchBytes, snap, wantDone(b[24:])
+}

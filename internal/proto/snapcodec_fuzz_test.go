@@ -1,0 +1,84 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzSnapCodecRoundTrip drives the five snapshot-method codec pairs with
+// arbitrary bytes. Same two properties as FuzzMsgCodecRoundTrip: a decoder
+// never panics and every accepted input is the canonical encoding of what it
+// decoded to; and arguments carved from the raw input survive
+// decode(encode(args)) == args.
+func FuzzSnapCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a snapshot frame"))
+	f.Add(AppendSnapOpenArgs(nil, 7))
+	f.Add(AppendSnapOpenReply(nil, 3, 1<<40))
+	f.Add(AppendSnapCloseArgs(nil, 7, 3))
+	f.Add(AppendSnapFetchArgs(nil, 7, 3, SegKey{Area: 1, Start: 8192}))
+	f.Add(AppendSnapScanStartArgs(nil, 7, 1, 9, 256<<10, 3))
+	// A fetch frame cut inside the segment key.
+	cut := AppendSnapFetchArgs(nil, 1, 2, SegKey{Area: 3, Start: 4})
+	f.Add(cut[:len(cut)-3])
+
+	f.Fuzz(func(t *testing.T, wire []byte) {
+		// Property 1: canonical encodings.
+		if client, err := DecodeSnapOpenArgs(wire); err == nil {
+			if got := AppendSnapOpenArgs(nil, client); !bytes.Equal(got, wire) {
+				t.Fatalf("snapopenargs not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if snap, stamp, err := DecodeSnapOpenReply(wire); err == nil {
+			if got := AppendSnapOpenReply(nil, snap, stamp); !bytes.Equal(got, wire) {
+				t.Fatalf("snapopenreply not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if client, snap, err := DecodeSnapCloseArgs(wire); err == nil {
+			if got := AppendSnapCloseArgs(nil, client, snap); !bytes.Equal(got, wire) {
+				t.Fatalf("snapcloseargs not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if client, snap, seg, err := DecodeSnapFetchArgs(wire); err == nil {
+			if got := AppendSnapFetchArgs(nil, client, snap, seg); !bytes.Equal(got, wire) {
+				t.Fatalf("snapfetchargs not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+		if client, db, fileID, batch, snap, err := DecodeSnapScanStartArgs(wire); err == nil {
+			if got := AppendSnapScanStartArgs(nil, client, db, fileID, batch, snap); !bytes.Equal(got, wire) {
+				t.Fatalf("snapscanstartargs not canonical:\n in: %x\nout: %x", wire, got)
+			}
+		}
+
+		// Property 2: carved arguments roundtrip through every pair.
+		p := append(append([]byte(nil), wire...), make([]byte, 48)...)
+		client := binary.BigEndian.Uint32(p[0:4])
+		snap := binary.BigEndian.Uint64(p[4:12])
+		stamp := binary.BigEndian.Uint64(p[12:20])
+		seg := SegKey{
+			Area:  binary.BigEndian.Uint32(p[20:24]),
+			Start: int64(binary.BigEndian.Uint64(p[24:32])),
+		}
+		db := binary.BigEndian.Uint32(p[32:36])
+		fileID := binary.BigEndian.Uint32(p[36:40])
+		batch := binary.BigEndian.Uint32(p[40:44])
+
+		if c, err := DecodeSnapOpenArgs(AppendSnapOpenArgs(nil, client)); err != nil || c != client {
+			t.Fatalf("snapopenargs roundtrip: got (%d, %v) want %d", c, err, client)
+		}
+		if sn, st, err := DecodeSnapOpenReply(AppendSnapOpenReply(nil, snap, stamp)); err != nil || sn != snap || st != stamp {
+			t.Fatalf("snapopenreply roundtrip: got (%d, %d, %v) want (%d, %d)", sn, st, err, snap, stamp)
+		}
+		if c, sn, err := DecodeSnapCloseArgs(AppendSnapCloseArgs(nil, client, snap)); err != nil || c != client || sn != snap {
+			t.Fatalf("snapcloseargs roundtrip: got (%d, %d, %v) want (%d, %d)", c, sn, err, client, snap)
+		}
+		if c, sn, s, err := DecodeSnapFetchArgs(AppendSnapFetchArgs(nil, client, snap, seg)); err != nil || c != client || sn != snap || s != seg {
+			t.Fatalf("snapfetchargs roundtrip: got (%d, %d, %+v, %v) want (%d, %d, %+v)", c, sn, s, err, client, snap, seg)
+		}
+		c, d, fid, bb, sn, err := DecodeSnapScanStartArgs(AppendSnapScanStartArgs(nil, client, db, fileID, batch, snap))
+		if err != nil || c != client || d != db || fid != fileID || bb != batch || sn != snap {
+			t.Fatalf("snapscanstartargs roundtrip failed: %v", err)
+		}
+	})
+}

@@ -96,6 +96,10 @@ var methodNames = [...]string{
 	33: "ScanStart",
 	34: "ScanData",
 	35: "ScanCtl",
+	36: "SnapOpen",
+	37: "SnapClose",
+	38: "SnapFetchSeg",
+	39: "SnapScanStart",
 }
 
 var methodIDs = func() map[string]uint16 {

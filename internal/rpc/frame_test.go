@@ -103,7 +103,8 @@ func TestMethodIDTablePinned(t *testing.T) {
 		"CreateLarge": 23, "AllocRun": 24, "FreeRun": 25, "ReadRun": 26,
 		"WriteRun": 27, "NameBind": 28, "NameLookup": 29, "NameUnbind": 30,
 		"NameRemoveOID": 31, "Callback": 32, "ScanStart": 33, "ScanData": 34,
-		"ScanCtl": 35,
+		"ScanCtl": 35, "SnapOpen": 36, "SnapClose": 37, "SnapFetchSeg": 38,
+		"SnapScanStart": 39,
 	}
 	if len(methodIDs) != len(want) {
 		t.Fatalf("method table has %d entries, want %d", len(methodIDs), len(want))

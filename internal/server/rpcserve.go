@@ -131,6 +131,36 @@ func ServePeer(s *Server, p *rpc.Peer) {
 		}
 		return proto.EncodeSegImage(&proto.SegImage{Seg: seg, Slotted: sl, Overflow: ov, Data: data}), nil
 	})
+	// Snapshot reads (DESIGN.md §7): binary codecs, zero locks server-side.
+	p.Handle("SnapOpen", func(body []byte) ([]byte, error) {
+		client, err := proto.DecodeSnapOpenArgs(body)
+		if err != nil {
+			return nil, err
+		}
+		snap, stamp, err := s.SnapOpen(client)
+		if err != nil {
+			return nil, err
+		}
+		return proto.AppendSnapOpenReply(nil, snap, stamp), nil
+	})
+	p.Handle("SnapClose", func(body []byte) ([]byte, error) {
+		client, snap, err := proto.DecodeSnapCloseArgs(body)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.SnapClose(client, snap)
+	})
+	p.Handle("SnapFetchSeg", func(body []byte) ([]byte, error) {
+		client, snap, seg, err := proto.DecodeSnapFetchArgs(body)
+		if err != nil {
+			return nil, err
+		}
+		sl, ov, data, err := s.SnapFetchSeg(client, snap, seg)
+		if err != nil {
+			return nil, err
+		}
+		return proto.EncodeSegImage(&proto.SegImage{Seg: seg, Slotted: sl, Overflow: ov, Data: data}), nil
+	})
 	p.Handle("FetchLarge", func(body []byte) ([]byte, error) {
 		client, seg, slot, err := proto.DecodeFetchLargeArgs(body)
 		if err != nil {

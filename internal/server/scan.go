@@ -7,6 +7,7 @@ import (
 
 	"bess/internal/goleak"
 	"bess/internal/lockcheck"
+	"bess/internal/page"
 	"bess/internal/proto"
 	"bess/internal/rpc"
 )
@@ -38,6 +39,8 @@ type scanCursor struct {
 	client uint32
 	batch  int
 	plan   []proto.ScanSeg
+	snap   bool     // read as of asOf instead of the live images
+	asOf   page.LSN // snapshot stamp (snap only)
 
 	mu        lockcheck.Mutex
 	cond      *sync.Cond
@@ -46,8 +49,8 @@ type scanCursor struct {
 	cancelled bool  // guarded by mu
 }
 
-func newScanCursor(id uint64, client uint32, batch int, plan []proto.ScanSeg) *scanCursor {
-	c := &scanCursor{id: id, client: client, batch: batch, plan: plan}
+func newScanCursor(id uint64, client uint32, batch int, plan []proto.ScanSeg, snap bool, asOf page.LSN) *scanCursor {
+	c := &scanCursor{id: id, client: client, batch: batch, plan: plan, snap: snap, asOf: asOf}
 	c.mu.Init("scanCursor.mu", 0) // unranked: never held across other locks
 	c.cond = sync.NewCond(&c.mu)
 	return c
@@ -109,11 +112,11 @@ func newScanTable() *scanTable {
 	return t
 }
 
-func (t *scanTable) add(client uint32, batch int, plan []proto.ScanSeg) *scanCursor {
+func (t *scanTable) add(client uint32, batch int, plan []proto.ScanSeg, snap bool, asOf page.LSN) *scanCursor {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.next++
-	c := newScanCursor(t.next, client, batch, plan)
+	c := newScanCursor(t.next, client, batch, plan, snap, asOf)
 	t.scans[c.id] = c
 	return c
 }
@@ -148,11 +151,7 @@ func serveScan(s *Server, p *rpc.Peer) {
 	table := newScanTable()
 	p.SetOnClose(func(error) { table.cancelAll() })
 
-	p.Handle("ScanStart", func(body []byte) ([]byte, error) {
-		client, db, fileID, batch, err := proto.DecodeScanStartArgs(body)
-		if err != nil {
-			return nil, err
-		}
+	start := func(client, db, fileID, batch uint32, snap bool, asOf page.LSN) ([]byte, error) {
 		b := int(batch)
 		if b <= 0 {
 			b = defaultScanBatch
@@ -175,9 +174,32 @@ func serveScan(s *Server, p *rpc.Peer) {
 			}
 			plan = append(plan, proto.ScanSeg{Seg: k, SlottedPages: uint32(n)})
 		}
-		c := table.add(client, b, plan)
+		c := table.add(client, b, plan, snap, asOf)
 		goleak.Go("server.runScan", func() { s.runScan(p, table, c) })
 		return proto.AppendScanStartReply(nil, c.id, plan), nil
+	}
+
+	p.Handle("ScanStart", func(body []byte) ([]byte, error) {
+		client, db, fileID, batch, err := proto.DecodeScanStartArgs(body)
+		if err != nil {
+			return nil, err
+		}
+		return start(client, db, fileID, batch, false, 0)
+	})
+
+	// SnapScanStart opens the same push cursor, but every image the cursor
+	// ships is read as of the snapshot's stamp — a stable analytics scan
+	// while updaters commit underneath (DESIGN.md §7).
+	p.Handle("SnapScanStart", func(body []byte) ([]byte, error) {
+		client, db, fileID, batch, snap, err := proto.DecodeSnapScanStartArgs(body)
+		if err != nil {
+			return nil, err
+		}
+		stamp, err := s.snapStamp(snap)
+		if err != nil {
+			return nil, err
+		}
+		return start(client, db, fileID, batch, true, stamp)
 	})
 
 	p.HandleStream("ScanCtl", func(stream uint64, body []byte) {
@@ -236,7 +258,15 @@ func (s *Server) runScan(p *rpc.Peer, t *scanTable, c *scanCursor) {
 		if c.isCancelled() || failed.Load() {
 			break
 		}
-		sl, ov, data, err := s.FetchSeg(c.client, e.Seg)
+		var sl, ov, data []byte
+		var err error
+		if c.snap {
+			// As-of fetch: no locks, no copy-table registration, so the
+			// pushed images never join the callback protocol.
+			sl, ov, data, err = s.readAsOf(e.Seg, c.asOf)
+		} else {
+			sl, ov, data, err = s.FetchSeg(c.client, e.Seg)
+		}
 		if errors.Is(err, ErrNoSegment) {
 			continue // dropped between plan and read; the client skips it too
 		}

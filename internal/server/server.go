@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"bess/internal/area"
+	"bess/internal/cache"
 	"bess/internal/hooks"
 	"bess/internal/lock"
 	"bess/internal/lockcheck"
@@ -64,6 +65,7 @@ type Stats struct {
 	Callbacks        int64
 	CallbackRefusals int64
 	PagesWritten     int64
+	SnapFetches      int64 // as-of segment fetches served to snapshots
 
 	// WAL counters (group commit, experiment E11): Syncs stays far below
 	// Commits under concurrency because committers share fsyncs.
@@ -96,6 +98,9 @@ type Server struct {
 	copyMu lockcheck.Mutex
 	copies map[proto.SegKey]map[uint32]bool // guarded by copyMu
 
+	snapMu    lockcheck.Mutex
+	snapshots map[uint64]*snapEntry // guarded by snapMu
+
 	txs txTable
 
 	closed atomic.Bool
@@ -104,6 +109,7 @@ type Server struct {
 	log   *wal.Log
 	locks *lock.Manager
 	txm   *tx.Manager
+	vs    *cache.VersionStore
 	hk    *hooks.Registry
 
 	nextTx atomic.Uint64
@@ -111,6 +117,7 @@ type Server struct {
 	stats struct {
 		messages, slottedFetches, dataFetches, largeFetches atomic.Int64
 		commits, aborts, callbacks, refusals, pagesWritten  atomic.Int64
+		snapFetches                                         atomic.Int64
 	}
 
 	// CallbackTimeout bounds revocation waits (paper: timeouts detect
@@ -187,6 +194,18 @@ func open(dir string, host uint16) (*Server, error) {
 	if s.txm == nil {
 		s.txm = tx.NewManager(s.log, s.locks, s, s.hk)
 	}
+	// Multiversion reads (DESIGN.md §7): the version store retains
+	// superseded segment images while snapshots are open, fed by the tx
+	// commit/abort hooks and trimmed at the oldest-snapshot watermark. The
+	// version clock restarts above every pre-crash commit.
+	s.snapMu.Init("Server.snapMu", 0) // unranked: leaf registry lock
+	s.snapshots = make(map[uint64]*snapEntry)
+	s.vs = cache.NewVersionStore(s.txm.OldestSnapshot)
+	s.txm.SetCommitHook(s.vs.CommitTx)
+	s.txm.SetAbortHook(s.vs.AbortTx)
+	if nl := s.log.NextLSN(); nl > 0 {
+		s.txm.SeedCommitStamp(nl - 1)
+	}
 	s.nextTx.Store(uint64(host)<<48 | 1)
 	return s, nil
 }
@@ -222,6 +241,7 @@ func (s *Server) Snapshot() Stats {
 		Callbacks:        s.stats.callbacks.Load(),
 		CallbackRefusals: s.stats.refusals.Load(),
 		PagesWritten:     s.stats.pagesWritten.Load(),
+		SnapFetches:      s.stats.snapFetches.Load(),
 
 		WALAppends:        ls.Appends,
 		WALFlushes:        ls.Flushes,
@@ -289,9 +309,11 @@ func (s *Server) SetCallback(client uint32, cb func(proto.SegKey) (bool, error))
 	return nil
 }
 
-// Disconnect drops a client: its cached copies are forgotten and its live
-// transactions aborted.
+// Disconnect drops a client: its cached copies are forgotten, its live
+// transactions aborted, and its open snapshots closed (unpinning the
+// version watermark).
 func (s *Server) Disconnect(client uint32) {
+	s.closeClientSnaps(client)
 	doomed := s.txs.takeOwned(client)
 	s.copyMu.Lock()
 	for seg, set := range s.copies {
@@ -806,10 +828,23 @@ func (s *Server) applyOne(t *tx.Tx, si proto.SegImage) error {
 	if err != nil {
 		return fmt.Errorf("server: commit image: %w", err)
 	}
-	cur, _, _, err := s.readSeg(si.Seg)
+	cur, curImg, curOver, err := s.readSeg(si.Seg)
 	if err != nil {
 		return err
 	}
+	// Stage the update with the version store before any page is
+	// overwritten: snapshot reads of this segment wait out the overwrite
+	// window, and with a snapshot open the pre-update image is captured for
+	// its chain (data section read only when the copy will actually happen).
+	capture := s.txm.SnapshotCount() > 0
+	var curData []byte
+	if capture {
+		if curData, err = s.readData(cur); err != nil {
+			return err
+		}
+	}
+	s.vs.StageUpdate(t.ID(), vkeyOf(si.Seg),
+		cache.VImage{Slotted: curImg, Overflow: curOver, Data: curData}, capture)
 	// Grown data segment? Allocate a fresh run and point the header at it
 	// — on-the-fly relocation; existing references are unaffected because
 	// they name slots.
@@ -953,7 +988,9 @@ func (s *Server) Commit(client uint32, txid uint64, segs []proto.SegImage) error
 	}
 	if err := t.Commit(); err != nil {
 		// The branch is dead either way: drop it so the txid does not leak
-		// in the active table.
+		// in the active table, and unstage its version-store entries so
+		// snapshot reads do not wait on a commit that will never publish.
+		s.vs.AbortTx(txid)
 		s.forgetTx(txid)
 		return err
 	}
@@ -1313,6 +1350,7 @@ func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	s.vs.Close()
 	s.areaMu.RLock()
 	areas := make([]*area.Area, 0, len(s.areas))
 	for _, a := range s.areas {

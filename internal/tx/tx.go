@@ -65,6 +65,18 @@ type Manager struct {
 	LockTimeout time.Duration
 
 	commits, aborts int64
+
+	// Multiversion read support (DESIGN.md §7). commitHook/abortHook are set
+	// once at open time, before any transaction runs, and are read without
+	// m.mu thereafter. The commit hook runs after the commit record is
+	// durable but before locks release, so a version store can publish the
+	// committed images while the writer still excludes concurrent stagers.
+	commitHook func(txID uint64, commitLSN page.LSN)
+	abortHook  func(txID uint64)
+
+	commitStamp page.LSN            // guarded by mu; latest published commit LSN (the version clock)
+	snaps       map[uint64]page.LSN // guarded by mu; open snapshot id → stamp
+	nextSnap    uint64              // guarded by mu
 }
 
 // NewManager wires a transaction manager. hooks may be nil.
@@ -241,6 +253,14 @@ func (t *Tx) Commit() error {
 	t.state = Committed
 	t.lastLSN = lsn
 	t.mu.Unlock()
+	// Version-store publication order: append the committed images to the
+	// version chains (hook) while this writer's X locks still exclude any
+	// concurrent stager of the same segments, then advance the version clock
+	// so new snapshots can observe them, then release locks.
+	if h := t.m.commitHook; h != nil {
+		h(t.id, lsn)
+	}
+	t.m.noteCommit(lsn)
 	t.finish()
 	if t.m.hooks != nil {
 		_ = t.m.hooks.Fire(hooks.EvTxCommit, t.id)
@@ -312,6 +332,9 @@ func (t *Tx) Abort() error {
 	t.mu.Lock()
 	t.state = Aborted
 	t.mu.Unlock()
+	if h := t.m.abortHook; h != nil {
+		h(t.id)
+	}
 	t.finish()
 	if t.m.hooks != nil {
 		_ = t.m.hooks.Fire(hooks.EvTxAbort, t.id)
