@@ -1,0 +1,438 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// --- chanflow: channel protocol discipline in //bess:golife packages ---
+//
+// Three checks, all scoped to packages that opted into goroutine lifecycle
+// analysis:
+//
+//   - double-close and send-after-close: a path-sensitive walk of each
+//     function tracks definitely-closed channels (branches fork and merge
+//     by intersection, loop bodies are walked once, a reassignment makes
+//     the channel fresh) and flags a second close or a later send.
+//   - blocked-forever sender: a send inside a goroutine literal on a
+//     channel made unbuffered in this package, with no select escape (a
+//     default or a receive case alongside it), blocks forever once the
+//     receiver is gone — the classic leaked-sender shape.
+//   - Add-inside-goroutine: sync.WaitGroup.Add called inside the spawned
+//     literal races the matching Wait; the Add belongs before the spawn.
+
+func analyzeChanFlow(pkgs []*pkg, dirs *directives, r *reporter) {
+	opted := false
+	for _, p := range pkgs {
+		if dirs.golife[p.path] {
+			opted = true
+			break
+		}
+	}
+	if !opted {
+		return
+	}
+	for _, p := range pkgs {
+		if !dirs.golife[p.path] || p.isTest {
+			continue
+		}
+		c := &chanflow{p: p, r: r, unbuffered: unbufferedChans(p)}
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				c.walkFresh(fd.Body)
+				c.checkGoroutineBodies(fd.Body)
+			}
+		}
+	}
+}
+
+type chanflow struct {
+	p          *pkg
+	r          *reporter
+	unbuffered map[types.Object]bool
+}
+
+// unbufferedChans records every object (local or struct field) assigned a
+// make(chan T) with no capacity in the package.
+func unbufferedChans(p *pkg) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(target ast.Expr, rhs ast.Expr) {
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "make" {
+			return
+		}
+		if t := p.info.TypeOf(call.Args[0]); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); !ok {
+				return
+			}
+		}
+		if o := golifeTarget(p, target); o != nil {
+			out[o] = true
+		}
+	}
+	for _, f := range p.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range s.Lhs {
+					if i < len(s.Rhs) {
+						record(lhs, s.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if i < len(s.Values) {
+						record(name, s.Values[i])
+					}
+				}
+			case *ast.CompositeLit:
+				st, ok := p.info.TypeOf(s).Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				for _, el := range s.Elts {
+					kv, ok := el.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					key, ok := kv.Key.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					for i := 0; i < st.NumFields(); i++ {
+						if st.Field(i).Name() == key.Name {
+							record(key, kv.Value)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// --- path-sensitive close tracking ---
+
+// closedState maps a channel object to the position of its close on the
+// current path.
+type closedState map[types.Object]token.Pos
+
+func (s closedState) clone() closedState {
+	out := make(closedState, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// merge keeps only channels closed on both paths.
+func (s closedState) merge(other closedState) closedState {
+	out := make(closedState)
+	for k, v := range s {
+		if _, ok := other[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// walkFresh walks a function (or literal) body with an empty closed set.
+func (c *chanflow) walkFresh(body *ast.BlockStmt) {
+	c.walkBlock(body, make(closedState))
+}
+
+// walkBlock walks stmts sequentially; returns true when the path
+// terminates (return, or an unconditional branch).
+func (c *chanflow) walkBlock(block *ast.BlockStmt, st closedState) bool {
+	for _, stmt := range block.List {
+		if c.walkStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *chanflow) walkStmt(stmt ast.Stmt, st closedState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		c.checkExpr(s.X, st)
+	case *ast.SendStmt:
+		c.checkSend(s, st)
+		c.walkNestedLits(s)
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			c.checkExpr(rhs, st)
+		}
+		// Reassignment makes the channel a fresh value.
+		for _, lhs := range s.Lhs {
+			if o := golifeTarget(c.p, lhs); o != nil {
+				delete(st, o)
+			}
+		}
+	case *ast.DeferStmt:
+		// Deferred closes run at function exit; they do not close the
+		// channel for the statements that follow on this path.
+		c.walkNestedLits(s)
+	case *ast.GoStmt:
+		c.walkNestedLits(s)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.checkExpr(r, st)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.BlockStmt:
+		return c.walkBlock(s, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		c.checkExpr(s.Cond, st)
+		thenSt := st.clone()
+		thenDead := c.walkBlock(s.Body, thenSt)
+		elseSt := st.clone()
+		elseDead := false
+		if s.Else != nil {
+			elseDead = c.walkStmt(s.Else, elseSt)
+		}
+		switch {
+		case thenDead && elseDead:
+			return true
+		case thenDead:
+			adopt(st, elseSt)
+		case elseDead:
+			adopt(st, thenSt)
+		default:
+			adopt(st, thenSt.merge(elseSt))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.walkStmt(s.Init, st)
+		}
+		// The body may run zero times: walk it for reports on a clone and
+		// discard the resulting state.
+		c.walkBlock(s.Body, st.clone())
+	case *ast.RangeStmt:
+		c.checkExpr(s.X, st)
+		c.walkBlock(s.Body, st.clone())
+	case *ast.SwitchStmt:
+		c.walkCases(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		c.walkCases(s.Body, st)
+	case *ast.SelectStmt:
+		states := make([]closedState, 0, len(s.Body.List))
+		for _, cl := range s.Body.List {
+			comm, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseSt := st.clone()
+			if send, ok := comm.Comm.(*ast.SendStmt); ok {
+				c.checkSend(send, caseSt)
+			}
+			dead := false
+			for _, cs := range comm.Body {
+				if c.walkStmt(cs, caseSt) {
+					dead = true
+					break
+				}
+			}
+			if !dead {
+				states = append(states, caseSt)
+			}
+		}
+		if len(states) == 0 && len(s.Body.List) > 0 {
+			return true
+		}
+		mergeAll(st, states)
+	case *ast.LabeledStmt:
+		return c.walkStmt(s.Stmt, st)
+	}
+	return false
+}
+
+func (c *chanflow) walkCases(body *ast.BlockStmt, st closedState) {
+	var states []closedState
+	for _, cl := range body.List {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		caseSt := st.clone()
+		dead := false
+		for _, cs := range cc.Body {
+			if c.walkStmt(cs, caseSt) {
+				dead = true
+				break
+			}
+		}
+		if !dead {
+			states = append(states, caseSt)
+		}
+	}
+	mergeAll(st, states)
+}
+
+func adopt(dst, src closedState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func mergeAll(st closedState, states []closedState) {
+	if len(states) == 0 {
+		return
+	}
+	merged := states[0]
+	for _, s := range states[1:] {
+		merged = merged.merge(s)
+	}
+	adopt(st, merged)
+}
+
+// checkExpr records close(ch) calls and walks nested literals as fresh
+// functions.
+func (c *chanflow) checkExpr(e ast.Expr, st closedState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			c.walkFresh(x.Body)
+			return false
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+			if !ok || id.Name != "close" || len(x.Args) != 1 {
+				return true
+			}
+			o := golifeTarget(c.p, x.Args[0])
+			if o == nil {
+				return true
+			}
+			if first, closed := st[o]; closed {
+				c.r.report(x.Pos(), "chanflow",
+					"double close of %s on this path (already closed at line %d)",
+					render(x.Args[0]), c.p.fset.Position(first).Line)
+			} else {
+				st[o] = x.Pos()
+			}
+			return false
+		}
+		return true
+	})
+}
+
+func (c *chanflow) checkSend(s *ast.SendStmt, st closedState) {
+	o := golifeTarget(c.p, s.Chan)
+	if o == nil {
+		return
+	}
+	if first, closed := st[o]; closed {
+		c.r.report(s.Pos(), "chanflow",
+			"send on %s after close on this path (closed at line %d)",
+			render(s.Chan), c.p.fset.Position(first).Line)
+	}
+}
+
+// walkNestedLits walks function literals inside stmt as fresh functions.
+func (c *chanflow) walkNestedLits(stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			c.walkFresh(lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+// --- goroutine-literal checks ---
+
+// checkGoroutineBodies applies the blocked-sender and Add-inside-goroutine
+// checks to every goroutine literal spawned in root (bare go statements and
+// goleak.Go calls).
+func (c *chanflow) checkGoroutineBodies(root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		var lit *ast.FuncLit
+		switch s := n.(type) {
+		case *ast.GoStmt:
+			lit, _ = ast.Unparen(s.Call.Fun).(*ast.FuncLit)
+		case *ast.CallExpr:
+			if isGoleakGo(c.p, s) && len(s.Args) == 2 {
+				lit, _ = ast.Unparen(s.Args[1]).(*ast.FuncLit)
+			}
+		}
+		if lit != nil {
+			c.checkSpawnedLit(lit)
+		}
+		return true
+	})
+}
+
+func (c *chanflow) checkSpawnedLit(lit *ast.FuncLit) {
+	// Sends that sit in a select alongside an escape (default or a receive
+	// case) cannot block forever.
+	escaped := make(map[*ast.SendStmt]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasEscape := false
+		var sends []*ast.SendStmt
+		for _, cl := range sel.Body.List {
+			comm, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			switch s := comm.Comm.(type) {
+			case nil:
+				hasEscape = true // default case
+			case *ast.SendStmt:
+				sends = append(sends, s)
+			default:
+				hasEscape = true // a receive case
+			}
+		}
+		if hasEscape {
+			for _, s := range sends {
+				escaped[s] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.SendStmt:
+			if escaped[s] {
+				return true
+			}
+			if o := golifeTarget(c.p, s.Chan); o != nil && c.unbuffered[o] {
+				c.r.report(s.Pos(), "chanflow",
+					"unbuffered send on %s from a goroutine with no select escape: the sender blocks forever once the receiver is gone",
+					render(s.Chan))
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(s.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Add" {
+				return true
+			}
+			if isNamedType(c.p.info.TypeOf(sel.X), "sync", "WaitGroup") {
+				c.r.report(s.Pos(), "chanflow",
+					"WaitGroup.Add inside the spawned goroutine races the matching Wait; Add before the go statement")
+			}
+		}
+		return true
+	})
+}

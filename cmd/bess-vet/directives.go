@@ -18,6 +18,18 @@ import (
 //	//bess:codecsym                    (package opts into codec symmetry)
 //	//bess:golife                      (package opts into goroutine lifecycle)
 //	//bess:golife ignore=<reason>      (waives the go statement on/under it)
+//	//bess:walorder                    (package opts into write-ahead ordering)
+//	//bess:walorder capture=T.M mutate=T.M  (mutate calls need a prior capture)
+//	//bess:walorder ignore=<reason>    (waives the sink/mutate on/under it)
+//	//bess:walsink Type.Method         (calls to it are page-store sink events)
+//	//bess:lockfree                    (func doc: taint root for lock freedom)
+//	//bess:lockfree ignore=<reason>    (waives the lock/call on/under it)
+//	//bess:hotpath                     (func doc: per-op allocations flagged)
+//	//bess:hotpath ignore=<reason>     (waives the allocation on/under it)
+//
+// A //bess: line whose verb is unknown, or whose argument does not parse,
+// is itself a finding (analyzer "directive") — a typo must not silently
+// disable checking.
 type directives struct {
 	// rank maps a lock class ("Server.areaMu") to its position in the
 	// declared hierarchy (1-based; outermost lowest). 0 = unranked.
@@ -37,17 +49,53 @@ type directives struct {
 	// a spawn on the same line (trailing comment) or on the line below it
 	// (comment-above style). An empty reason is itself a finding.
 	golifeIgnores map[string]map[int]string
+
+	walorder        map[string]bool // package path -> opted into WAL ordering
+	walsinks        map[string]bool // "Type.Method" names treated as page-store sinks
+	walcaptures     []capturePair   // capture-before-mutate requirements
+	walorderIgnores map[string]map[int]string
+
+	lockfreeRoots   map[*types.Func]bool // taint roots for the lockfree analyzer
+	lockfreeIgnores map[string]map[int]string
+
+	hotpath        map[*types.Func]bool // functions under per-op allocation review
+	hotpathIgnores map[string]map[int]string
+
+	// bad collects malformed or unknown //bess: directives; run() reports
+	// them under the "directive" analyzer.
+	bad []dirDiag
+}
+
+// capturePair declares that every call to mutate must be preceded, in the
+// same function, by a call to capture (name-matched as "Type.Method" of the
+// static callee, so the pair may live in another package).
+type capturePair struct {
+	capture, mutate string
+	pos             token.Pos
+}
+
+// dirDiag is one malformed/unknown directive, reported as a finding.
+type dirDiag struct {
+	pos token.Pos
+	msg string
 }
 
 func newDirectives() *directives {
 	return &directives{
-		rank:          make(map[string]int),
-		holds:         make(map[*types.Func]string),
-		prepublish:    make(map[*types.Func]bool),
-		guarded:       make(map[*types.Var]string),
-		codecsym:      make(map[string]bool),
-		golife:        make(map[string]bool),
-		golifeIgnores: make(map[string]map[int]string),
+		rank:            make(map[string]int),
+		holds:           make(map[*types.Func]string),
+		prepublish:      make(map[*types.Func]bool),
+		guarded:         make(map[*types.Var]string),
+		codecsym:        make(map[string]bool),
+		golife:          make(map[string]bool),
+		golifeIgnores:   make(map[string]map[int]string),
+		walorder:        make(map[string]bool),
+		walsinks:        make(map[string]bool),
+		walorderIgnores: make(map[string]map[int]string),
+		lockfreeRoots:   make(map[*types.Func]bool),
+		lockfreeIgnores: make(map[string]map[int]string),
+		hotpath:         make(map[*types.Func]bool),
+		hotpathIgnores:  make(map[string]map[int]string),
 	}
 }
 
@@ -69,8 +117,9 @@ type resourceDecl struct {
 	pos      token.Pos
 }
 
-// collect scans one type-checked package for all directive forms.
-func (d *directives) collect(p *pkg) error {
+// collect scans one type-checked package for all directive forms. Malformed
+// or unknown directives are recorded in d.bad, never silently skipped.
+func (d *directives) collect(p *pkg) {
 	for _, f := range p.files {
 		// File-level comments: the lockorder declaration may sit in any
 		// comment group (bess keeps it in the package doc of lockorder.go).
@@ -78,35 +127,8 @@ func (d *directives) collect(p *pkg) error {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
-				if rest, ok := strings.CutPrefix(text, "bess:lockorder "); ok {
-					if err := d.parseOrder(rest, c.Pos()); err != nil {
-						return err
-					}
-				}
-				if rest, ok := strings.CutPrefix(text, "bess:resource "); ok {
-					if err := d.parseResource(p, rest, c.Pos()); err != nil {
-						return err
-					}
-				}
-				if text == "bess:codecsym" {
-					d.codecsym[p.path] = true
-				}
-				if text == "bess:golife" {
-					d.golife[p.path] = true
-				}
-				if rest, ok := strings.CutPrefix(text, "bess:golife "); ok {
-					rest = strings.TrimSpace(rest)
-					if reason, ok := strings.CutPrefix(rest, "ignore="); ok {
-						pos := p.fset.Position(c.Pos())
-						m := d.golifeIgnores[pos.Filename]
-						if m == nil {
-							m = make(map[int]string)
-							d.golifeIgnores[pos.Filename] = m
-						}
-						m[pos.Line] = strings.TrimSpace(reason)
-					} else if rest != "" {
-						return fmt.Errorf("//bess:golife: unknown clause %q (want bare or ignore=<reason>)", rest)
-					}
+				if rest, ok := strings.CutPrefix(text, "bess:"); ok {
+					d.parseDirective(p, rest, c.Pos())
 				}
 			}
 		}
@@ -129,6 +151,148 @@ func (d *directives) collect(p *pkg) error {
 			}
 		}
 	}
+}
+
+func (d *directives) badf(pos token.Pos, format string, args ...any) {
+	d.bad = append(d.bad, dirDiag{pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+// ignoreAt records an ignore= waiver line; an empty reason is a finding
+// right away (a waiver must say why). Anything after an embedded "//" is a
+// trailing comment, not part of the reason.
+func (d *directives) ignoreAt(p *pkg, verb string, ignores map[string]map[int]string, reason string, pos token.Pos) {
+	reason, _, _ = strings.Cut(reason, "//")
+	if strings.TrimSpace(reason) == "" {
+		d.badf(pos, "//bess:%s ignore waiver needs a reason (ignore=<why this site is safe>)", verb)
+		return
+	}
+	position := p.fset.Position(pos)
+	m := ignores[position.Filename]
+	if m == nil {
+		m = make(map[int]string)
+		ignores[position.Filename] = m
+	}
+	m[position.Line] = strings.TrimSpace(reason)
+}
+
+// parseDirective dispatches one "//bess:<verb> [arg]" line. rest is the text
+// after "bess:".
+func (d *directives) parseDirective(p *pkg, rest string, pos token.Pos) {
+	verb, arg, _ := strings.Cut(rest, " ")
+	arg = strings.TrimSpace(arg)
+	switch verb {
+	case "lockorder":
+		if arg == "" {
+			d.badf(pos, "//bess:lockorder needs a hierarchy (A.x < B.y < ...)")
+			return
+		}
+		if err := d.parseOrder(arg, pos); err != nil {
+			d.badf(pos, "%v", err)
+		}
+	case "resource":
+		if arg == "" {
+			d.badf(pos, "//bess:resource needs acquire= and release= clauses")
+			return
+		}
+		if err := d.parseResource(p, arg, pos); err != nil {
+			d.badf(pos, "%v", err)
+		}
+	case "codecsym":
+		if arg != "" {
+			d.badf(pos, "//bess:codecsym takes no argument (got %q)", arg)
+			return
+		}
+		d.codecsym[p.path] = true
+	case "golife":
+		if arg == "" {
+			d.golife[p.path] = true
+			return
+		}
+		if reason, ok := strings.CutPrefix(arg, "ignore="); ok {
+			// golife checks the reason itself (empty reason = golife finding),
+			// so record even an empty one.
+			position := p.fset.Position(pos)
+			m := d.golifeIgnores[position.Filename]
+			if m == nil {
+				m = make(map[int]string)
+				d.golifeIgnores[position.Filename] = m
+			}
+			m[position.Line] = strings.TrimSpace(reason)
+			return
+		}
+		d.badf(pos, "//bess:golife: unknown clause %q (want bare or ignore=<reason>)", arg)
+	case "holds":
+		if arg == "" {
+			d.badf(pos, "//bess:holds needs a mutex field name")
+		}
+	case "prepublish":
+		if arg != "" {
+			d.badf(pos, "//bess:prepublish takes no argument (got %q)", arg)
+		}
+	case "walorder":
+		switch {
+		case arg == "":
+			d.walorder[p.path] = true
+		case strings.HasPrefix(arg, "ignore="):
+			d.ignoreAt(p, "walorder", d.walorderIgnores, strings.TrimPrefix(arg, "ignore="), pos)
+		case strings.HasPrefix(arg, "capture="):
+			if err := d.parseCapture(arg, pos); err != nil {
+				d.badf(pos, "%v", err)
+			}
+		default:
+			d.badf(pos, "//bess:walorder: unknown clause %q (want bare, ignore=<reason>, or capture=T.M mutate=T.M)", arg)
+		}
+	case "walsink":
+		if arg == "" || !strings.Contains(arg, ".") || strings.ContainsAny(arg, " =") {
+			d.badf(pos, "//bess:walsink needs a Type.Method name (got %q)", arg)
+			return
+		}
+		d.walsinks[arg] = true
+	case "lockfree":
+		switch {
+		case arg == "":
+			// Bare form: attaches to the function whose doc comment holds it
+			// (collectFunc); harmless elsewhere.
+		case strings.HasPrefix(arg, "ignore="):
+			d.ignoreAt(p, "lockfree", d.lockfreeIgnores, strings.TrimPrefix(arg, "ignore="), pos)
+		default:
+			d.badf(pos, "//bess:lockfree: unknown clause %q (want bare or ignore=<reason>)", arg)
+		}
+	case "hotpath":
+		switch {
+		case arg == "":
+			// Bare form: attaches via collectFunc.
+		case strings.HasPrefix(arg, "ignore="):
+			d.ignoreAt(p, "hotpath", d.hotpathIgnores, strings.TrimPrefix(arg, "ignore="), pos)
+		default:
+			d.badf(pos, "//bess:hotpath: unknown clause %q (want bare or ignore=<reason>)", arg)
+		}
+	default:
+		d.badf(pos, "unknown //bess:%s directive (known verbs: lockorder, holds, prepublish, resource, codecsym, golife, walorder, walsink, lockfree, hotpath)", verb)
+	}
+}
+
+// parseCapture parses "capture=Type.Method mutate=Type.Method".
+func (d *directives) parseCapture(arg string, pos token.Pos) error {
+	pair := capturePair{pos: pos}
+	for _, kv := range strings.Fields(arg) {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok || val == "" || !strings.Contains(val, ".") {
+			return fmt.Errorf("//bess:walorder: bad clause %q (want capture=T.M mutate=T.M)", kv)
+		}
+		switch key {
+		case "capture":
+			pair.capture = val
+		case "mutate":
+			pair.mutate = val
+		default:
+			return fmt.Errorf("//bess:walorder: unknown clause %q (want capture= or mutate=)", key)
+		}
+	}
+	if pair.capture == "" || pair.mutate == "" {
+		return fmt.Errorf("//bess:walorder: capture= and mutate= are both required")
+	}
+	d.walcaptures = append(d.walcaptures, pair)
 	return nil
 }
 
@@ -166,6 +330,12 @@ func (d *directives) collectFunc(p *pkg, fn *ast.FuncDecl) {
 		}
 		if text == "bess:prepublish" {
 			d.prepublish[obj] = true
+		}
+		if text == "bess:lockfree" {
+			d.lockfreeRoots[obj] = true
+		}
+		if text == "bess:hotpath" {
+			d.hotpath[obj] = true
 		}
 	}
 }

@@ -24,17 +24,37 @@
 //     no double-close or send-after-close on any path, no unbuffered sends
 //     from goroutines without a select escape, no WaitGroup.Add inside the
 //     spawned goroutine.
+//   - walorder: in //bess:walorder packages, every page-store sink (a call
+//     to a //bess:walsink function) must be dominated by a wal Append on
+//     the same path, declared capture=/mutate= pairs must stage a
+//     pre-update image before overwriting, and LSN chains must stay
+//     monotone (no stale PrevLSN after a newer Append).
+//   - lockfree: interprocedural taint from //bess:lockfree roots (snapshot
+//     fetch, snapshot scans, version-chain readers): any reachable
+//     Lock/RLock or lock-manager Acquire is a finding unless waived with
+//     //bess:lockfree ignore=<reason>.
+//   - hotalloc: per-op heap allocations in //bess:hotpath functions (make,
+//     nil-base append clones, string<->[]byte conversions, closures,
+//     interface boxing) must be pooled, hoisted, or waived with
+//     //bess:hotpath ignore=<reason>.
+//   - directive: a //bess: comment with an unknown verb or a malformed
+//     argument is itself a finding — typos must not silently disable
+//     checking.
 //
 // Usage:
 //
 //	go run ./cmd/bess-vet ./...
 //	go run ./cmd/bess-vet -json ./internal/... ./cmd/...
+//	go vet -vettool=$(which bess-vet) ./...
 //
 // Exits 1 when any finding is reported, 2 on loader errors. With -json the
 // findings are printed as a JSON array (empty array when clean) instead of
-// the line-oriented report. The tool is stdlib-only (go/parser, go/types
-// with the source importer): it needs no build cache and no external
-// binaries.
+// the line-oriented report. The third form is the go vet tool protocol:
+// when invoked by the go command (with -V=full, or with a single *.cfg
+// argument) bess-vet answers the unit-checker handshake, analyzes the
+// package the config describes, and reports findings for its files only —
+// see vettool.go. The tool is stdlib-only (go/parser, go/types with the
+// source importer): it needs no build cache and no external binaries.
 package main
 
 import (
@@ -47,9 +67,14 @@ import (
 )
 
 func main() {
+	// go vet tool protocol: `go vet -vettool=bess-vet` invokes the tool with
+	// -V=full (version handshake) or a single <unit>.cfg argument.
+	if runVettool(os.Args[1:]) {
+		return
+	}
 	var (
 		dir     = flag.String("C", ".", "module directory to analyze")
-		only    = flag.String("only", "", "comma-separated analyzer subset (lockorder,durability,guarded,defers,poollife,atomicmix,codecsym,golife,chanflow)")
+		only    = flag.String("only", "", "comma-separated analyzer subset (lockorder,durability,guarded,defers,poollife,atomicmix,codecsym,golife,chanflow,walorder,lockfree,hotalloc,directive)")
 		jsonOut = flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	)
 	flag.Parse()
@@ -124,9 +149,7 @@ func run(dir string, patterns []string, only string) ([]finding, error) {
 
 	dirs := newDirectives()
 	for _, p := range pkgs {
-		if err := dirs.collect(p); err != nil {
-			return nil, fmt.Errorf("%s: %w", p.path, err)
-		}
+		dirs.collect(p)
 	}
 
 	var flows []*flowResult
@@ -140,6 +163,7 @@ func run(dir string, patterns []string, only string) ([]finding, error) {
 			"lockorder": true, "durability": true, "guarded": true, "defers": true,
 			"poollife": true, "atomicmix": true, "codecsym": true,
 			"golife": true, "chanflow": true,
+			"walorder": true, "lockfree": true, "hotalloc": true, "directive": true,
 		}
 	} else {
 		for _, a := range strings.Split(only, ",") {
@@ -148,6 +172,11 @@ func run(dir string, patterns []string, only string) ([]finding, error) {
 	}
 
 	r := &reporter{fset: l.fset}
+	if enabled["directive"] {
+		for _, b := range dirs.bad {
+			r.report(b.pos, "directive", "%s", b.msg)
+		}
+	}
 	if enabled["lockorder"] {
 		analyzeLockOrder(flows, dirs, r)
 	}
@@ -174,6 +203,15 @@ func run(dir string, patterns []string, only string) ([]finding, error) {
 	}
 	if enabled["chanflow"] {
 		analyzeChanFlow(pkgs, dirs, r)
+	}
+	if enabled["walorder"] {
+		analyzeWALOrder(pkgs, dirs, r)
+	}
+	if enabled["lockfree"] {
+		analyzeLockFree(pkgs, dirs, r)
+	}
+	if enabled["hotalloc"] {
+		analyzeHotAlloc(pkgs, dirs, r)
 	}
 	return r.sorted(), nil
 }

@@ -1,0 +1,116 @@
+// Package chanflowfix exercises the channel-protocol analyzer: double
+// close and send-after-close on a path, unbuffered sends from goroutines
+// with no select escape, and WaitGroup.Add inside the spawned goroutine.
+//
+//bess:golife
+package chanflowfix
+
+import "sync"
+
+var sink int
+
+func work()        { sink++ }
+func compute() int { return sink }
+
+// --- double close and send-after-close, path-sensitively ---
+
+func doubleClose(a bool) {
+	ch := make(chan int, 1)
+	close(ch)
+	if a {
+		close(ch) // want chanflow
+	}
+}
+
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want chanflow
+}
+
+// exclusiveClose is clean: the closing path returns before the send.
+func exclusiveClose(a bool) {
+	ch := make(chan int, 1)
+	if a {
+		close(ch)
+		return
+	}
+	ch <- 1
+	close(ch)
+}
+
+// remake is clean: reassignment makes the channel a fresh value.
+func remake() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch = make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// closeMany is clean: one close per channel, the loop body walks once.
+func closeMany(chans []chan int) {
+	for _, ch := range chans {
+		close(ch)
+	}
+}
+
+// --- blocked-forever senders: unbuffered sends without a select escape ---
+
+type relay struct{ done chan struct{} }
+
+// Close releases every relay goroutine.
+func (r *relay) Close() { close(r.done) }
+
+func (r *relay) leakySend() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute() // want chanflow
+		<-r.done
+	}()
+	return ch
+}
+
+// politeSend is clean: the select's receive case lets the sender escape.
+func (r *relay) politeSend() chan int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- compute():
+		case <-r.done:
+		}
+	}()
+	return ch
+}
+
+// bufferedSend is clean: the buffer absorbs the handoff.
+func (r *relay) bufferedSend() chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- compute()
+		<-r.done
+	}()
+	return ch
+}
+
+// --- WaitGroup.Add inside the spawned goroutine races its Wait ---
+
+func badAdd() { // the race also breaks golife's join proof, hence both
+	var wg sync.WaitGroup
+	go func() { // want golife
+		wg.Add(1) // want chanflow
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+func goodAdd() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}

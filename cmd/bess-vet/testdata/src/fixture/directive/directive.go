@@ -1,0 +1,44 @@
+// Package directive holds deliberately broken //bess: lines. A typo'd or
+// malformed directive silently disables the checking it meant to enable,
+// so each one must be a finding in its own right.
+package directive
+
+// The verb is misspelled: the hierarchy below would never be enforced.
+//
+//bess:lockorde Reg.mu < Reg.copyMu // want directive
+
+// The resource pair is incomplete (release= missing) and the acquire
+// function does not exist; either way, checking would vanish.
+//
+//bess:resource acquire=get // want directive
+
+// golife's only argument form is ignore=<reason>.
+//
+//bess:golife ignore // want directive
+
+// codecsym takes no argument.
+//
+//bess:codecsym extra // want directive
+
+// A walsink must name a Type.Method.
+//
+//bess:walsink NoDotHere // want directive
+
+// A capture pair needs both sides.
+//
+//bess:walorder capture=Store.Stage mutate= // want directive
+
+// An ignore waiver without a reason is worthless in review.
+//
+//bess:lockfree ignore= // want directive
+
+// prepublish takes no argument.
+//
+//bess:prepublish soon // want directive
+
+// Unknown verb outright.
+//
+//bess:lockfrees // want directive
+
+// Reg exists so the (never-registered) lock classes above name something.
+type Reg struct{ mu, copyMu int }

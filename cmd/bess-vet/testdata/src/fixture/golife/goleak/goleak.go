@@ -1,0 +1,8 @@
+// Package goleak is a fixture stand-in for bess/internal/goleak: golife
+// recognizes Go(name, fn) by package name and expands the spawned fn.
+package goleak
+
+// Go runs fn on a new goroutine.
+func Go(name string, fn func()) {
+	go fn()
+}

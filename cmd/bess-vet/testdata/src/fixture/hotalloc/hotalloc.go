@@ -1,0 +1,74 @@
+// Package hotalloc reproduces per-op heap allocations in declared hot
+// paths: fresh makes, nil-base clones, string conversions, closures,
+// interface boxing — and the pooled/waived shapes that are fine.
+package hotalloc
+
+var sink any
+
+// AppendHot appends into the caller's buffer: the desired shape.
+//
+//bess:hotpath
+func AppendHot(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// Encode allocates a fresh output per call.
+//
+//bess:hotpath
+func Encode(src []byte) []byte {
+	out := make([]byte, len(src)) // want hotalloc
+	copy(out, src)
+	return out
+}
+
+// Clone uses the nil-base append idiom: one allocation per call.
+//
+//bess:hotpath
+func Clone(src []byte) []byte {
+	return append([]byte(nil), src...) // want hotalloc
+}
+
+// Key converts bytes to string: a copy per call.
+//
+//bess:hotpath
+func Key(b []byte) string {
+	return string(b) // want hotalloc
+}
+
+// Fresh news up a value per call.
+//
+//bess:hotpath
+func Fresh() *int {
+	return new(int) // want hotalloc
+}
+
+// Box passes a concrete value to an interface parameter.
+//
+//bess:hotpath
+func Box(v int) {
+	take(v) // want hotalloc
+}
+
+func take(v any) { sink = v }
+
+// Closure allocates the literal and its captures per call.
+//
+//bess:hotpath
+func Closure(n int) func() int {
+	return func() int { return n } // want hotalloc
+}
+
+// Waived owns its allocation deliberately: the decode result escapes to
+// the caller by contract.
+//
+//bess:hotpath
+func Waived(src []byte) []byte {
+	out := make([]byte, len(src)) //bess:hotpath ignore=decode result is handed to the caller and must own its bytes
+	copy(out, src)
+	return out
+}
+
+// Cold is unmarked: allocations are nobody's business here.
+func Cold(src []byte) []byte {
+	return append([]byte(nil), src...)
+}

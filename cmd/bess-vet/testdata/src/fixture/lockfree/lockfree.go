@@ -1,0 +1,83 @@
+// Package lockfree reproduces lock acquisitions reachable from declared
+// lock-free roots: direct, interprocedural, through a lock manager, and
+// the waiver forms that prune the walk.
+package lockfree
+
+import "sync"
+
+// Manager mirrors the 2PL lock manager.
+type Manager struct{ n int }
+
+// Acquire takes a transaction-visible lock.
+func (m *Manager) Acquire(id int) { m.n++ }
+
+// DB holds the locks the roots must never reach.
+type DB struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	lm  Manager
+	reg map[int]int
+}
+
+// SnapRead is a snapshot read root: everything it reaches must be
+// lock-free.
+//
+//bess:lockfree
+func (d *DB) SnapRead(id int) int {
+	d.resolve(id)
+	return d.chainScan(id)
+}
+
+// resolve is only called from the root; its lock is a finding.
+func (d *DB) resolve(id int) {
+	d.mu.Lock() // want lockfree
+	d.reg[id]++
+	d.mu.Unlock()
+}
+
+// chainScan read-locks: RLock still blocks behind a writer.
+func (d *DB) chainScan(id int) int {
+	d.rw.RLock() // want lockfree
+	defer d.rw.RUnlock()
+	return d.reg[id]
+}
+
+// SnapLocked reaches the lock manager directly.
+//
+//bess:lockfree
+func (d *DB) SnapLocked(id int) {
+	d.lm.Acquire(id) // want lockfree
+}
+
+// SnapMixed shares a helper with the pull path: the pull call is waived
+// (pruning the walk into pullFetch) and the registry's short critical
+// section is waived at the lock itself.
+//
+//bess:lockfree
+func (d *DB) SnapMixed(id int) {
+	d.pullFetch(id) //bess:lockfree ignore=pull branch serves non-snapshot scans and may lock
+	d.registry(id)
+}
+
+// pullFetch locks, but is only reached through the waived call.
+func (d *DB) pullFetch(id int) {
+	d.mu.Lock()
+	d.reg[id]++
+	d.mu.Unlock()
+}
+
+// registry waives its own critical section with a reason.
+func (d *DB) registry(id int) {
+	//bess:lockfree ignore=short in-memory copy window, never a transaction lock
+	d.mu.Lock()
+	d.reg[id]++
+	d.mu.Unlock()
+}
+
+// Update is never reached from a root: its locks are fine.
+func (d *DB) Update(id int) {
+	d.mu.Lock()
+	d.lm.Acquire(id)
+	d.reg[id]++
+	d.mu.Unlock()
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bess/internal/goleak"
+	"bess/internal/lockcheck"
 	"bess/internal/page"
 )
 
@@ -97,13 +98,19 @@ type VStats struct {
 	Trims     int64 // entries dropped by GC or the per-segment cap
 }
 
+// RankVersionStoreMu is VersionStore.mu's position in the server lock
+// hierarchy declared in internal/server/lockorder.go: inside every server
+// registry lock (commit hooks stage under segment X locks), outside only
+// Log.mu. Exported like wal.RankLogMu because cache cannot import server.
+const RankVersionStoreMu lockcheck.Rank = 55
+
 // VersionStore retains superseded segment images for open snapshots.
 //
 //bess:resource acquire=VersionStore.AsOf release=VersionStore.Release mode=pinned
 type VersionStore struct {
 	oldest func() (page.LSN, bool) // oldest open snapshot (the GC watermark)
 
-	mu      sync.Mutex
+	mu      lockcheck.Mutex
 	cond    *sync.Cond
 	chains  map[VKey][]*Version       // ascending From; guarded by mu
 	stamp   map[VKey]page.LSN         // last commit stamp per key; guarded by mu
@@ -131,6 +138,7 @@ func NewVersionStore(oldest func() (page.LSN, bool)) *VersionStore {
 		stop:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	vs.mu.Init("VersionStore.mu", RankVersionStoreMu)
 	vs.cond = sync.NewCond(&vs.mu)
 	goleak.Go("cache.versionGC", func() {
 		defer close(vs.done)

@@ -25,9 +25,29 @@ const (
 // ErrBadImage reports bytes that are not a valid SegImage encoding.
 var ErrBadImage = errors.New("proto: bad segment image encoding")
 
-// EncodeSegImage returns the binary encoding of s.
+// segImageSize returns the exact encoded length of s: fixed header plus
+// three length-prefixed sections.
+func segImageSize(s *SegImage) int {
+	return 2 + 1 + 4 + 8 + 3*4 + len(s.Slotted) + len(s.Overflow) + len(s.Data)
+}
+
+// EncodeSegImage returns the binary encoding of s in a fresh exactly-sized
+// buffer — the FetchSeg/SnapFetchSeg reply body.
+//
+//bess:hotpath
 func EncodeSegImage(s *SegImage) []byte {
-	b := make([]byte, 0, 2+1+4+8+3*4+len(s.Slotted)+len(s.Overflow)+len(s.Data))
+	//bess:hotpath ignore=one exactly-sized reply buffer per fetch; the rpc layer takes ownership of it as the reply body
+	b := make([]byte, 0, segImageSize(s))
+	return AppendSegImage(b, s)
+}
+
+// AppendSegImage appends the binary encoding of s onto b and returns the
+// extended slice. This is the allocation-free form: the scan push path
+// encodes straight into a pooled batch buffer instead of round-tripping
+// through a fresh EncodeSegImage slice per image.
+//
+//bess:hotpath
+func AppendSegImage(b []byte, s *SegImage) []byte {
 	b = binary.BigEndian.AppendUint16(b, segImageMagic)
 	b = append(b, segImageVersion)
 	b = binary.BigEndian.AppendUint32(b, s.Seg.Area)
@@ -42,6 +62,8 @@ func EncodeSegImage(s *SegImage) []byte {
 // DecodeSegImage parses bytes produced by EncodeSegImage. Zero-length
 // sections decode to nil. The input must be exactly one image: trailing
 // bytes are an error.
+//
+//bess:hotpath
 func DecodeSegImage(b []byte) (*SegImage, error) {
 	const hdr = 2 + 1 + 4 + 8
 	if len(b) < hdr {
@@ -68,6 +90,7 @@ func DecodeSegImage(b []byte) (*SegImage, error) {
 			return nil, fmt.Errorf("%w: section length %d exceeds %d remaining bytes", ErrBadImage, n, len(rest))
 		}
 		if n > 0 {
+			//bess:hotpath ignore=decoded sections must outlive the rpc frame buffer; one owned copy per section is the decode contract
 			*dst = append([]byte(nil), rest[:n]...)
 			rest = rest[n:]
 		}

@@ -45,6 +45,7 @@ func decodeSegKey(b []byte) (SegKey, []byte, error) {
 	return seg, b[12:], nil
 }
 
+//bess:hotpath
 func appendSection(b, sec []byte) []byte {
 	b = binary.BigEndian.AppendUint32(b, uint32(len(sec)))
 	return append(b, sec...)
@@ -114,6 +115,8 @@ func DecodeFetchLargeArgs(b []byte) (client uint32, seg SegKey, slot int, err er
 
 // AppendFetchSlottedReply encodes (slotted, overflow) as two length-prefixed
 // sections.
+//
+//bess:hotpath
 func AppendFetchSlottedReply(b, slotted, overflow []byte) []byte {
 	b = appendSection(b, slotted)
 	return appendSection(b, overflow)

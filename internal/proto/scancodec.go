@@ -98,7 +98,11 @@ func DecodeScanStartReply(b []byte) (scan uint64, segs []ScanSeg, err error) {
 }
 
 // AppendScanBatch encodes one pushed batch: sequence number, last flag,
-// error string, then each image as a length-prefixed SegImage section.
+// error string, then each image as a length-prefixed SegImage section. It
+// encodes every image directly onto b (the pooled batch buffer), so a
+// steady-state scan allocates nothing per batch.
+//
+//bess:hotpath
 func AppendScanBatch(b []byte, sb *ScanBatch) []byte {
 	b = binary.BigEndian.AppendUint32(b, sb.Seq)
 	if sb.Last {
@@ -106,10 +110,12 @@ func AppendScanBatch(b []byte, sb *ScanBatch) []byte {
 	} else {
 		b = append(b, 0)
 	}
-	b = appendSection(b, []byte(sb.Err))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(sb.Err)))
+	b = append(b, sb.Err...)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(sb.Images)))
 	for i := range sb.Images {
-		b = appendSection(b, EncodeSegImage(&sb.Images[i]))
+		b = binary.BigEndian.AppendUint32(b, uint32(segImageSize(&sb.Images[i])))
+		b = AppendSegImage(b, &sb.Images[i])
 	}
 	return b
 }

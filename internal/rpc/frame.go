@@ -121,7 +121,10 @@ type frame struct {
 	body   []byte
 }
 
-// appendFrame serializes f onto dst, returning the extended slice.
+// appendFrame serializes f onto dst, returning the extended slice. It
+// runs once per frame on the send path and must not allocate beyond dst.
+//
+//bess:hotpath
 func appendFrame(dst []byte, f *frame) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, f.id)
 	dst = append(dst, f.flags)
@@ -139,7 +142,10 @@ func appendFrame(dst []byte, f *frame) []byte {
 }
 
 // parseHeader validates a fixed header and returns the partial frame plus
-// the payload length still to read.
+// the payload length still to read. It runs once per received frame and
+// allocates only on the (cold) malformed-header paths.
+//
+//bess:hotpath
 func parseHeader(hdr *[frameHdrLen]byte) (frame, int, error) {
 	f := frame{
 		id:     binary.BigEndian.Uint64(hdr[0:8]),

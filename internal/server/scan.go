@@ -33,6 +33,17 @@ const (
 	maxScanBatch     = 4 << 20
 )
 
+// scanBatchPool recycles encoded ScanData bodies: SendStream copies the
+// bytes into the peer's coalescing writer before returning, so the sender
+// goroutine can hand each body straight back for the next flush instead
+// of allocating ~1MB per batch. Not declared as a //bess:resource pair:
+// ownership crosses a goroutine (flush encodes, the sender releases),
+// which poollife's single-function model deliberately rejects.
+var scanBatchPool = sync.Pool{New: func() any { b := make([]byte, 0, defaultScanBatch); return &b }}
+
+func getScanBuf() *[]byte  { return scanBatchPool.Get().(*[]byte) }
+func putScanBuf(b *[]byte) { scanBatchPool.Put(b) }
+
 // scanCursor is one in-flight streaming scan.
 type scanCursor struct {
 	id     uint64
@@ -74,6 +85,7 @@ func (c *scanCursor) grant(cancel bool, n uint64) {
 func (c *scanCursor) cancel() { c.grant(true, 0) }
 
 func (c *scanCursor) isCancelled() bool {
+	//bess:lockfree ignore=cursor latch for the cancel flag; released immediately, never held across fetch or send
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.cancelled
@@ -85,6 +97,7 @@ func (c *scanCursor) isCancelled() bool {
 // the client registers its stream and opens the window with one ScanCtl,
 // which also keeps an empty final batch from racing ahead of registration.
 func (c *scanCursor) waitCredit(n int) bool {
+	//bess:lockfree ignore=credit latch: the sender deliberately parks on cond here for flow control, not data-path locking
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
@@ -122,6 +135,7 @@ func (t *scanTable) add(client uint32, batch int, plan []proto.ScanSeg, snap boo
 }
 
 func (t *scanTable) remove(id uint64) {
+	//bess:lockfree ignore=cursor-table latch, unranked and released before any fetch or send
 	t.mu.Lock()
 	delete(t.scans, id)
 	t.mu.Unlock()
@@ -218,11 +232,15 @@ func serveScan(s *Server, p *rpc.Peer) {
 // allow. Encoded batches are handed to a sender goroutine so fetching the
 // next segment overlaps the credit wait and socket write of the previous
 // batch. It exits on cancel, on a send error (peer gone), or after the
-// final batch.
+// final batch. Like SnapFetchSeg, runScan is a lockfree taint root: in snap
+// mode its data path reaches no lock acquisition beyond the waived cursor
+// and peer latches.
+//
+//bess:lockfree
 func (s *Server) runScan(p *rpc.Peer, t *scanTable, c *scanCursor) {
 	defer t.remove(c.id)
 	type push struct {
-		body []byte
+		buf  *[]byte // pooled backing array; returned to the pool after the send
 		size int
 	}
 	var (
@@ -236,23 +254,28 @@ func (s *Server) runScan(p *rpc.Peer, t *scanTable, c *scanCursor) {
 	goleak.Go("server.scanSender", func() {
 		defer close(done)
 		for sp := range sendCh {
-			if failed.Load() {
-				continue // keep draining so the fetch loop never blocks
+			if !failed.Load() {
+				// Draining continues after a failure so the fetch loop
+				// never blocks; every batch still returns to the pool.
+				//bess:lockfree ignore=SendStream takes only Peer.wmu to coalesce the write; no server-state locks are held at send time
+				if !c.waitCredit(sp.size) || p.SendStream("ScanData", c.id, *sp.buf) != nil {
+					failed.Store(true)
+				}
 			}
-			if !c.waitCredit(sp.size) || p.SendStream("ScanData", c.id, sp.body) != nil {
-				failed.Store(true)
-			}
+			putScanBuf(sp.buf)
 		}
 	})
-	// flush encodes the accumulated images and queues the batch for the
-	// sender. An error batch carries no images and is always last.
+	// flush encodes the accumulated images into a pooled buffer and queues
+	// the batch for the sender. An error batch carries no images and is
+	// always last.
 	flush := func(last bool, errMsg string) {
 		sb := proto.ScanBatch{Seq: seq, Last: last, Err: errMsg, Images: images}
-		body := proto.AppendScanBatch(nil, &sb)
+		bp := getScanBuf()
+		*bp = proto.AppendScanBatch((*bp)[:0], &sb)
 		seq++
 		sz := size
 		images, size = images[:0], 0
-		sendCh <- push{body: body, size: sz}
+		sendCh <- push{buf: bp, size: sz}
 	}
 	for _, e := range c.plan {
 		if c.isCancelled() || failed.Load() {
@@ -265,6 +288,7 @@ func (s *Server) runScan(p *rpc.Peer, t *scanTable, c *scanCursor) {
 			// pushed images never join the callback protocol.
 			sl, ov, data, err = s.readAsOf(e.Seg, c.asOf)
 		} else {
+			//bess:lockfree ignore=live-scan branch: FetchSeg takes the usual short read locks and copy-table registration by design; the snap branch stays lock-free
 			sl, ov, data, err = s.FetchSeg(c.client, e.Seg)
 		}
 		if errors.Is(err, ErrNoSegment) {

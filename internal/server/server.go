@@ -30,6 +30,7 @@ import (
 	"bess/internal/segment"
 	"bess/internal/tx"
 	"bess/internal/wal"
+	"bess/internal/walcheck"
 )
 
 // Errors returned by the server.
@@ -98,8 +99,13 @@ type Server struct {
 	copyMu lockcheck.Mutex
 	copies map[proto.SegKey]map[uint32]bool // guarded by copyMu
 
+	// The snapshot registry is copy-on-write: writers (open/close, rare)
+	// mutate the map under snapMu and publish an immutable copy to
+	// snapView; readers (snapStamp, on every SnapFetchSeg) load the view
+	// with no lock at all — the snapshot read path must stay lock-free.
 	snapMu    lockcheck.Mutex
-	snapshots map[uint64]*snapEntry // guarded by snapMu
+	snapshots map[uint64]*snapEntry                 // guarded by snapMu
+	snapView  atomic.Pointer[map[uint64]*snapEntry] // immutable published copy
 
 	txs txTable
 
@@ -198,7 +204,7 @@ func open(dir string, host uint16) (*Server, error) {
 	// superseded segment images while snapshots are open, fed by the tx
 	// commit/abort hooks and trimmed at the oldest-snapshot watermark. The
 	// version clock restarts above every pre-crash commit.
-	s.snapMu.Init("Server.snapMu", 0) // unranked: leaf registry lock
+	s.snapMu.Init("Server.snapMu", rankSnapMu)
 	s.snapshots = make(map[uint64]*snapEntry)
 	s.vs = cache.NewVersionStore(s.txm.OldestSnapshot)
 	s.txm.SetCommitHook(s.vs.CommitTx)
@@ -269,12 +275,30 @@ func (s *Server) ReadPage(id page.ID, buf []byte) error {
 	return a.ReadPage(id.Page, buf)
 }
 
-// WritePage implements wal.Pager.
+// Write-ahead ordering (DESIGN.md §4f). The server package opts into
+// bess-vet's walorder analyzer: every call to Server.WritePage — the
+// page-store choke point for logged mutations — must be dominated on its
+// path by a WAL append (directly, or through a callee like tx.Tx.LogUpdate
+// whose call-graph summary proves one), and every call to
+// Server.logAndApply must be preceded in the same function by a
+// VersionStore.StageUpdate capture, so open snapshots always see the
+// pre-update image staged before the first page of the overwrite lands.
+// The walcheck build tag enforces the same log-before-data contract at
+// runtime (internal/walcheck).
+//
+//bess:walorder
+//bess:walsink Server.WritePage
+//bess:walorder capture=VersionStore.StageUpdate mutate=Server.logAndApply
+
+// WritePage implements wal.Pager. This is the page-store choke point for
+// every logged mutation: under `-tags walcheck` the store asserts that a
+// covering log record was appended first (internal/walcheck).
 func (s *Server) WritePage(id page.ID, data []byte) error {
 	a := s.lookupArea(uint32(id.Area))
 	if a == nil {
 		return ErrNoArea
 	}
+	walcheck.NoteWrite(id)
 	s.stats.pagesWritten.Add(1)
 	return a.WritePage(id.Page, data)
 }
@@ -1116,11 +1140,24 @@ func (s *Server) CreateLarge(client uint32, txid uint64, seg proto.SegKey, typ u
 	if err := s.revokeCopies(seg, client); err != nil {
 		return 0, err
 	}
-	dec, _, _, err := s.readSeg(seg)
+	dec, curImg, curOver, err := s.readSeg(seg)
 	if err != nil {
 		return 0, err
 	}
 	sm, _, _ := s.cat.segMetaOf(seg)
+	// Stage with the version store before any page of seg is overwritten,
+	// exactly as applyOne does for commit images: without this, an open
+	// snapshot's Recheck passes (the stamp never advanced) while the
+	// descriptor pages change underneath it — a torn as-of read.
+	capture := s.txm.SnapshotCount() > 0
+	var curData []byte
+	if capture {
+		if curData, err = s.readData(dec); err != nil {
+			return 0, err
+		}
+	}
+	s.vs.StageUpdate(t.ID(), vkeyOf(seg),
+		cache.VImage{Slotted: curImg, Overflow: curOver, Data: curData}, capture)
 	// Store the content in its own run.
 	a, aid, err := s.areaForAlloc(seg.Area)
 	if err != nil {

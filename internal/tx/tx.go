@@ -1,6 +1,14 @@
 // Package tx implements BeSS transaction management: ACID transactions over
 // the WAL and lock manager (paper §3), with runtime rollback under CLR
 // protection and two-phase commit for distributed transactions.
+//
+// The package opts into bess-vet's walorder analyzer: any store through the
+// Pager interface must follow a WAL append on the same path (log-before-data;
+// DESIGN.md §4f). The one deliberate exception — Abort's before-image
+// restore — carries an inline waiver.
+//
+//bess:walorder
+//bess:walsink Pager.WritePage
 package tx
 
 import (
@@ -13,6 +21,7 @@ import (
 	"bess/internal/lock"
 	"bess/internal/page"
 	"bess/internal/wal"
+	"bess/internal/walcheck"
 )
 
 // State is a transaction's lifecycle state.
@@ -211,6 +220,7 @@ func (t *Tx) LogUpdate(pid page.ID, off uint32, before, after []byte) (page.LSN,
 	if err != nil {
 		return 0, err
 	}
+	walcheck.NoteUpdate(pid)
 	t.lastLSN = lsn
 	if _, ok := t.dirty[pid]; !ok {
 		t.dirty[pid] = lsn
@@ -302,6 +312,11 @@ func (t *Tx) Abort() error {
 					return err
 				}
 				copy(buf[rec.Off:], rec.Before)
+				// The update record being undone covers this restore: its
+				// before-image is exactly the bytes going back. The CLR
+				// below re-describes them for redo.
+				walcheck.NoteUpdate(rec.Page)
+				//bess:walorder ignore=undo restores a before-image whose update record is already durable; the CLR appended below re-logs the restore for redo
 				if err := t.m.pager.WritePage(rec.Page, buf); err != nil {
 					return err
 				}

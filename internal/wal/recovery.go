@@ -5,7 +5,17 @@ import (
 	"sort"
 
 	"bess/internal/page"
+	"bess/internal/walcheck"
 )
+
+// The wal package opts into bess-vet's walorder analyzer (DESIGN.md §4f):
+// recovery's stores through the Pager interface replay records already in
+// the durable log — redo applies after-images inside the Iterate closure
+// (covered by the walcheck runtime checker), and undo's restores follow the
+// abort/end appends of the loser pass on the same walk.
+//
+//bess:walorder
+//bess:walsink Pager.WritePage
 
 // Pager is the page store recovery replays against.
 type Pager interface {
@@ -138,6 +148,9 @@ func Recover(l *Log, p Pager) (*RecoveryStats, error) {
 			return fmt.Errorf("wal: redo record at %d out of page bounds", lsn)
 		}
 		copy(buf[rec.Off:], rec.After)
+		// Redo re-applies a record already durable in the log: that record
+		// is the coverage.
+		walcheck.NoteUpdate(rec.Page)
 		if err := p.WritePage(rec.Page, buf); err != nil {
 			return fmt.Errorf("wal: redo write %v: %w", rec.Page, err)
 		}
@@ -200,6 +213,9 @@ func Recover(l *Log, p Pager) (*RecoveryStats, error) {
 					return nil, err
 				}
 				copy(buf[rec.Off:], rec.Before)
+				// The loser's update record covers its own undo; the CLR
+				// appended below re-describes the restore for redo.
+				walcheck.NoteUpdate(rec.Page)
 				if err := p.WritePage(rec.Page, buf); err != nil {
 					return nil, err
 				}

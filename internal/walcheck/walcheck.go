@@ -1,0 +1,19 @@
+// Package walcheck provides a build-tagged runtime checker for the
+// write-ahead rule: no page image may reach the store unless a covering
+// log record was appended first. It is the dynamic twin of cmd/bess-vet's
+// walorder analyzer — the analyzer proves the ordering on the call graph,
+// this package asserts it on the executions the tests actually drive.
+//
+// The protocol has two sides. The logging side calls NoteUpdate(pid)
+// immediately after appending the record that covers the next store of
+// pid (tx.LogUpdate, the abort undo loop, and recovery's redo/undo passes
+// do this). The storing side calls NoteWrite(pid) at the page-store choke
+// point (server.WritePage): if no unconsumed covering record exists for
+// pid, NoteWrite panics with the current stack and the site of the last
+// covered write of that page. Each NoteUpdate covers exactly one
+// NoteWrite — coverage is consumed, so a second store of the same page
+// needs its own record, exactly like the log-before-data rule itself.
+//
+// Without the `walcheck` tag both calls are empty functions with no state
+// behind them; the default build pays nothing.
+package walcheck

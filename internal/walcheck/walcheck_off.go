@@ -1,0 +1,16 @@
+//go:build !walcheck
+
+package walcheck
+
+import "bess/internal/page"
+
+// Enabled reports whether runtime write-ahead-order checking is compiled in.
+const Enabled = false
+
+// NoteUpdate records that a log record covering the next store of pid was
+// appended. No-op in this build.
+func NoteUpdate(pid page.ID) {}
+
+// NoteWrite asserts that the store of pid about to happen is covered by a
+// log record. No-op in this build.
+func NoteWrite(pid page.ID) {}

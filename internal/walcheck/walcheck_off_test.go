@@ -1,0 +1,26 @@
+//go:build !walcheck
+
+package walcheck
+
+import (
+	"testing"
+
+	"bess/internal/page"
+)
+
+func TestDisabledIsFree(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled must be false without the walcheck tag")
+	}
+	// Both sides are no-ops: an uncovered write must not panic here.
+	pid := page.ID{Area: 1, Page: 1}
+	NoteWrite(pid)
+	NoteUpdate(pid)
+	n := testing.AllocsPerRun(100, func() {
+		NoteUpdate(pid)
+		NoteWrite(pid)
+	})
+	if n != 0 {
+		t.Fatalf("disabled checker allocates %v per op", n)
+	}
+}

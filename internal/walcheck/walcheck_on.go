@@ -1,0 +1,79 @@
+//go:build walcheck
+
+package walcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bess/internal/page"
+)
+
+// Enabled reports whether runtime write-ahead-order checking is compiled in.
+const Enabled = true
+
+var registry struct {
+	mu      sync.Mutex
+	covered map[page.ID]string // pid -> site of the covering NoteUpdate
+	last    map[page.ID]string // pid -> site of the last consumed NoteWrite
+}
+
+func init() {
+	registry.covered = make(map[page.ID]string)
+	registry.last = make(map[page.ID]string)
+}
+
+func callsite() string {
+	_, file, line, ok := runtime.Caller(2)
+	if !ok {
+		return "?"
+	}
+	return fmt.Sprintf("%s:%d", file, line)
+}
+
+// NoteUpdate records that a log record covering the next store of pid was
+// appended. Call it right after the Append whose record describes the
+// store; the coverage is consumed by exactly one NoteWrite.
+func NoteUpdate(pid page.ID) {
+	site := callsite()
+	registry.mu.Lock()
+	// Two appends before one store are legal (the later record still
+	// precedes the store); the newer site wins as the covering one.
+	registry.covered[pid] = site
+	registry.mu.Unlock()
+}
+
+// NoteWrite asserts that the store of pid about to happen is covered by a
+// log record, and consumes the coverage. An uncovered store panics with
+// both stacks: the writing site (the panic's own trace) and, when the
+// page was ever legally written, the site of that earlier covered write.
+func NoteWrite(pid page.ID) {
+	site := callsite()
+	registry.mu.Lock()
+	cov, ok := registry.covered[pid]
+	if ok {
+		delete(registry.covered, pid)
+		registry.last[pid] = site + " (covered by " + cov + ")"
+	}
+	prev := registry.last[pid]
+	registry.mu.Unlock()
+	if !ok {
+		var buf [8192]byte
+		n := runtime.Stack(buf[:], false)
+		if prev == "" {
+			prev = "never written under coverage"
+		}
+		panic(fmt.Sprintf("walcheck: page %v stored at %s with no covering log record — the write-ahead rule requires Append before the store; last covered write: %s\nwriting goroutine:\n%s",
+			pid, site, prev, buf[:n]))
+	}
+}
+
+// Reset clears all recorded coverage (tests that simulate crashes reuse
+// page ids across independent histories).
+func Reset() {
+	registry.mu.Lock()
+	registry.covered = make(map[page.ID]string)
+	registry.last = make(map[page.ID]string)
+	registry.mu.Unlock()
+}

@@ -1,0 +1,63 @@
+//go:build walcheck
+
+package walcheck
+
+import (
+	"strings"
+	"testing"
+
+	"bess/internal/page"
+)
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, substr) {
+			t.Fatalf("panic %v does not contain %q", r, substr)
+		}
+	}()
+	f()
+}
+
+func TestCoveredWrite(t *testing.T) {
+	defer Reset()
+	pid := page.ID{Area: 1, Page: 7}
+	NoteUpdate(pid)
+	NoteWrite(pid) // must not panic
+}
+
+func TestUncoveredWritePanics(t *testing.T) {
+	defer Reset()
+	pid := page.ID{Area: 1, Page: 8}
+	mustPanic(t, "no covering log record", func() { NoteWrite(pid) })
+}
+
+func TestCoverageIsConsumed(t *testing.T) {
+	defer Reset()
+	pid := page.ID{Area: 1, Page: 9}
+	NoteUpdate(pid)
+	NoteWrite(pid)
+	// The second store of the same page needs its own record.
+	mustPanic(t, "no covering log record", func() { NoteWrite(pid) })
+}
+
+func TestPanicNamesLastCoveredSite(t *testing.T) {
+	defer Reset()
+	pid := page.ID{Area: 2, Page: 1}
+	NoteUpdate(pid)
+	NoteWrite(pid)
+	mustPanic(t, "covered by", func() { NoteWrite(pid) })
+}
+
+func TestCoverageIsPerPage(t *testing.T) {
+	defer Reset()
+	NoteUpdate(page.ID{Area: 3, Page: 1})
+	mustPanic(t, "no covering log record", func() {
+		NoteWrite(page.ID{Area: 3, Page: 2})
+	})
+}
