@@ -1,0 +1,71 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// --- crcpath: //bess:verified read paths must verify a checksum ---
+//
+// A function marked //bess:verified is a read path that hands out image
+// bytes (page, section, or frame contents) with an end-to-end integrity
+// promise: somewhere in its body — before those bytes escape — it must call
+// a checksum verifier. The check is syntactic and deliberately simple: any
+// call whose callee is named Verify* (page.Verify, Seg.VerifyData,
+// Log.Verify, ...) satisfies it, including calls inside function literals
+// the body defines (a retry closure that verifies still counts). What it
+// catches is the real regression: someone reroutes a verified read path
+// around the verifier — drops the VerifyData call while refactoring a
+// fetch — and the checksum silently stops protecting that path.
+
+// analyzeCrcPath reports //bess:verified functions that never call a
+// Verify* function.
+func analyzeCrcPath(pkgs []*pkg, dirs *directives, r *reporter) {
+	for _, p := range pkgs {
+		for _, f := range p.files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, _ := p.info.Defs[fn.Name].(*types.Func)
+				if obj == nil || !dirs.verified[obj] {
+					continue
+				}
+				if !callsVerifier(fn.Body) {
+					r.report(fn.Pos(), "crcpath",
+						"%s is marked //bess:verified but never calls a Verify* checksum function", obj.Name())
+				}
+			}
+		}
+	}
+}
+
+// callsVerifier reports whether any call expression under body has a
+// callee named Verify or Verify<Something>.
+func callsVerifier(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var name string
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			name = fun.Name
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		}
+		if strings.HasPrefix(name, "Verify") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -26,6 +26,7 @@ import (
 //	//bess:lockfree ignore=<reason>    (waives the lock/call on/under it)
 //	//bess:hotpath                     (func doc: per-op allocations flagged)
 //	//bess:hotpath ignore=<reason>     (waives the allocation on/under it)
+//	//bess:verified                    (func doc: read path must call Verify*)
 //
 // A //bess: line whose verb is unknown, or whose argument does not parse,
 // is itself a finding (analyzer "directive") — a typo must not silently
@@ -60,6 +61,8 @@ type directives struct {
 
 	hotpath        map[*types.Func]bool // functions under per-op allocation review
 	hotpathIgnores map[string]map[int]string
+
+	verified map[*types.Func]bool // read paths that must call a Verify* function
 
 	// bad collects malformed or unknown //bess: directives; run() reports
 	// them under the "directive" analyzer.
@@ -96,6 +99,7 @@ func newDirectives() *directives {
 		lockfreeIgnores: make(map[string]map[int]string),
 		hotpath:         make(map[*types.Func]bool),
 		hotpathIgnores:  make(map[string]map[int]string),
+		verified:        make(map[*types.Func]bool),
 	}
 }
 
@@ -267,8 +271,13 @@ func (d *directives) parseDirective(p *pkg, rest string, pos token.Pos) {
 		default:
 			d.badf(pos, "//bess:hotpath: unknown clause %q (want bare or ignore=<reason>)", arg)
 		}
+	case "verified":
+		if arg != "" {
+			d.badf(pos, "//bess:verified takes no argument (got %q)", arg)
+		}
+		// Bare form: attaches to the function whose doc holds it (collectFunc).
 	default:
-		d.badf(pos, "unknown //bess:%s directive (known verbs: lockorder, holds, prepublish, resource, codecsym, golife, walorder, walsink, lockfree, hotpath)", verb)
+		d.badf(pos, "unknown //bess:%s directive (known verbs: lockorder, holds, prepublish, resource, codecsym, golife, walorder, walsink, lockfree, hotpath, verified)", verb)
 	}
 }
 
@@ -336,6 +345,9 @@ func (d *directives) collectFunc(p *pkg, fn *ast.FuncDecl) {
 		}
 		if text == "bess:hotpath" {
 			d.hotpath[obj] = true
+		}
+		if text == "bess:verified" {
+			d.verified[obj] = true
 		}
 	}
 }

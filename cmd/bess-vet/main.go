@@ -163,7 +163,8 @@ func run(dir string, patterns []string, only string) ([]finding, error) {
 			"lockorder": true, "durability": true, "guarded": true, "defers": true,
 			"poollife": true, "atomicmix": true, "codecsym": true,
 			"golife": true, "chanflow": true,
-			"walorder": true, "lockfree": true, "hotalloc": true, "directive": true,
+			"walorder": true, "lockfree": true, "hotalloc": true, "crcpath": true,
+			"directive": true,
 		}
 	} else {
 		for _, a := range strings.Split(only, ",") {
@@ -212,6 +213,9 @@ func run(dir string, patterns []string, only string) ([]finding, error) {
 	}
 	if enabled["hotalloc"] {
 		analyzeHotAlloc(pkgs, dirs, r)
+	}
+	if enabled["crcpath"] {
+		analyzeCrcPath(pkgs, dirs, r)
 	}
 	return r.sorted(), nil
 }

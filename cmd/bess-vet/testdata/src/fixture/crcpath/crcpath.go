@@ -1,0 +1,65 @@
+// Package crcpath reproduces verified-read-path shapes: fetch functions
+// that honor their //bess:verified contract by calling a Verify* checksum
+// function, and the regression the analyzer exists for — a read path that
+// hands out image bytes without ever verifying them.
+package crcpath
+
+import "errors"
+
+type segImage struct{ data []byte }
+
+// VerifyData checks the data section against its recorded checksum.
+func (s *segImage) VerifyData(b []byte) error {
+	if len(b) != len(s.data) {
+		return errors.New("checksum mismatch")
+	}
+	return nil
+}
+
+// Verify is the package-level verifier (page.Verify shape).
+func Verify(b []byte, crc uint32) error {
+	if len(b) == 0 {
+		return errors.New("checksum mismatch")
+	}
+	return nil
+}
+
+// ReadVerified verifies through a method call: the desired shape.
+//
+//bess:verified
+func ReadVerified(s *segImage) ([]byte, error) {
+	if err := s.VerifyData(s.data); err != nil {
+		return nil, err
+	}
+	return s.data, nil
+}
+
+// ReadPageVerified verifies through the package-level helper.
+//
+//bess:verified
+func ReadPageVerified(s *segImage, crc uint32) ([]byte, error) {
+	if err := Verify(s.data, crc); err != nil {
+		return nil, err
+	}
+	return s.data, nil
+}
+
+// ReadRetryVerified verifies inside a retry closure; the call still counts.
+//
+//bess:verified
+func ReadRetryVerified(s *segImage, crc uint32) ([]byte, error) {
+	attempt := func() error { return Verify(s.data, crc) }
+	if err := attempt(); err != nil {
+		if err := attempt(); err != nil {
+			return nil, err
+		}
+	}
+	return s.data, nil
+}
+
+// ReadUnverified promises verification and never does it.
+//
+//bess:verified
+func ReadUnverified(s *segImage) ([]byte, error) { // want crcpath
+	return s.data, nil
+}

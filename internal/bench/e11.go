@@ -34,6 +34,18 @@ type E11Result struct {
 // With group commit, concurrent committers share fsync rounds, so
 // SyncsPerCommit should fall well below 1 as Clients grows.
 func RunE11(clients, commitsPerClient int) E11Result {
+	return runE11(clients, commitsPerClient, 0)
+}
+
+// RunE11Scrubbed is RunE11 with the background scrubber passing over the
+// catalog at the given interval for the whole run. Comparing it against
+// RunE11 measures the scrubber's overhead on the commit path (the E19
+// acceptance wants it inside noise).
+func RunE11Scrubbed(clients, commitsPerClient int, scrubEvery time.Duration) E11Result {
+	return runE11(clients, commitsPerClient, scrubEvery)
+}
+
+func runE11(clients, commitsPerClient int, scrubEvery time.Duration) E11Result {
 	dir, err := os.MkdirTemp("", "bess-e11-")
 	must(err)
 	defer os.RemoveAll(dir)
@@ -42,6 +54,9 @@ func RunE11(clients, commitsPerClient int) E11Result {
 	defer func() { must(srv.Close()) }()
 	db, _, err := srv.OpenDB("e11", true)
 	must(err)
+	if scrubEvery > 0 {
+		srv.StartScrub(scrubEvery, 0)
+	}
 
 	keys := make([]proto.SegKey, clients)
 	imgs := make([][2]proto.SegImage, clients)

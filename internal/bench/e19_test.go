@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestE19Corruption is the acceptance gate for the detect/repair pipeline:
+// full enumeration normally, a sampled sweep under -short. Either way the
+// hard invariants hold — zero silent wrong reads, every non-benign point
+// detected, and (full run) at least 100 points with ≥90% repaired.
+func TestE19Corruption(t *testing.T) {
+	sample := 0
+	if testing.Short() {
+		sample = 6
+	}
+	rep, err := RunE19(42, sample)
+	if err != nil {
+		t.Fatalf("RunE19: %v", err)
+	}
+	t.Logf("E19: %d points — %d detected, %d repaired, %d quarantined, %d benign, %d silent (repaired frac %.3f)",
+		rep.Points, rep.Detected, rep.Repaired, rep.Quarantined, rep.Benign, rep.Silent, rep.RepairedFrac)
+	for _, f := range rep.Failures {
+		t.Errorf("E19 failure: %s", f)
+	}
+	if rep.Silent != 0 {
+		t.Fatalf("%d silent wrong reads", rep.Silent)
+	}
+	if rep.Detected != rep.Repaired+rep.Quarantined {
+		t.Fatalf("detected %d != repaired %d + quarantined %d", rep.Detected, rep.Repaired, rep.Quarantined)
+	}
+	if rep.Points != rep.Detected+rep.Benign {
+		t.Fatalf("points %d != detected %d + benign %d", rep.Points, rep.Detected, rep.Benign)
+	}
+	if !rep.Sampled {
+		if rep.Points < 100 {
+			t.Fatalf("only %d corruption points enumerated, want >= 100", rep.Points)
+		}
+		if rep.RepairedFrac < 0.9 {
+			t.Fatalf("repaired fraction %.3f < 0.9", rep.RepairedFrac)
+		}
+	}
+}

@@ -261,6 +261,13 @@ func (f *fetcher) FetchSlotted(id swizzle.SegID) (*segment.Seg, error) {
 		return nil, err
 	}
 	dec.Overflow = ov
+	// End-to-end verification at cache fault-in: DecodeSlotted checked the
+	// header and slot-region CRCs; the overflow bytes are checked here
+	// against the header's recorded section checksum, so wire or transport
+	// corruption is caught before the image enters the client cache.
+	if err := dec.VerifySections(); err != nil {
+		return nil, err
+	}
 	f.mu.Lock()
 	if f.stash == nil {
 		f.stash = make(map[swizzle.SegID][]byte)
@@ -270,24 +277,36 @@ func (f *fetcher) FetchSlotted(id swizzle.SegID) (*segment.Seg, error) {
 	return dec, nil
 }
 
-func (f *fetcher) FetchData(id swizzle.SegID, _ *segment.Seg) ([]byte, error) {
+func (f *fetcher) FetchData(id swizzle.SegID, dec *segment.Seg) ([]byte, error) {
 	f.mu.Lock()
 	data, ok := f.stash[id]
 	if ok {
 		delete(f.stash, id)
 	}
 	f.mu.Unlock()
-	if ok {
-		return data, nil
+	if !ok {
+		if snap, inSnap := f.s.snapState(); inSnap {
+			img, err := f.snapFetch(snap, id)
+			if err != nil {
+				return nil, err
+			}
+			data = img.Data
+		} else {
+			var err error
+			if data, err = f.s.conn.FetchData(f.s.client, segKey(id)); err != nil {
+				return nil, err
+			}
+		}
 	}
-	if snap, inSnap := f.s.snapState(); inSnap {
-		img, err := f.snapFetch(snap, id)
-		if err != nil {
+	// Verify the data section against the cached header's checksum before
+	// it enters the client cache (skipped when the caller has no decoded
+	// header or the bytes are not the full on-disk section).
+	if dec != nil && len(data) == int(dec.Hdr.DataPages)*page.Size {
+		if err := dec.VerifyData(data); err != nil {
 			return nil, err
 		}
-		return img.Data, nil
 	}
-	return f.s.conn.FetchData(f.s.client, segKey(id))
+	return data, nil
 }
 
 func (f *fetcher) dropStash(id swizzle.SegID) {

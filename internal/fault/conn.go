@@ -29,6 +29,12 @@ type ConnPlan struct {
 	// DropAfterOps, when > 0, closes the underlying connection after that
 	// many combined read/write calls — a peer dying mid-conversation.
 	DropAfterOps int64
+
+	// FlipByteAt, when > 0, XORs the n-th byte of the write stream (1-based)
+	// with 0xFF before it reaches the wire — silent corruption a flaky NIC
+	// or switch introduces without failing the connection. Detected only by
+	// an end-to-end frame checksum.
+	FlipByteAt int64
 }
 
 // Conn wraps a net.Conn with the faults scheduled in its plan. Safe for
@@ -97,6 +103,14 @@ func (c *Conn) Write(p []byte) (int, error) {
 		return 0, err
 	}
 	c.mu.Lock()
+	if c.plan.FlipByteAt > 0 {
+		idx := c.plan.FlipByteAt - 1 - c.written
+		if idx >= 0 && idx < int64(len(p)) {
+			flipped := append([]byte(nil), p...)
+			flipped[idx] ^= 0xFF
+			p = flipped
+		}
+	}
 	allowed := len(p)
 	short := false
 	if c.plan.ShortWriteAfter > 0 {

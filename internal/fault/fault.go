@@ -63,6 +63,7 @@ type Injector struct {
 	seed        uint64
 
 	errAt map[int64]error // transient error injected at an event index
+	rotAt map[int64]int   // silent bit rot: event index -> bytes to flip
 }
 
 // NewInjector returns an injector with no faults scheduled. seed drives the
@@ -98,6 +99,22 @@ func (i *Injector) FailAt(n int64, err error) {
 	i.errAt[n] = err
 }
 
+// RotAt schedules silent bit rot at event index n (1-based): the n-th
+// write/sync event completes normally, and then nbytes seeded pseudo-random
+// byte positions of the affected extent are flipped in both the volatile and
+// synced images — the medium lies without an error, the failure mode
+// checksums exist to catch. Enumerating n over a workload's events visits a
+// corruption point inside every write the workload performs, the way
+// SetCrashPoint enumeration visits every crash point.
+func (i *Injector) RotAt(n int64, nbytes int) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.rotAt == nil {
+		i.rotAt = make(map[int64]int)
+	}
+	i.rotAt[n] = nbytes
+}
+
 // Events returns the number of write/sync events observed so far — run the
 // workload once fault-free and this is the crash-point space to enumerate.
 func (i *Injector) Events() int64 {
@@ -113,28 +130,45 @@ func (i *Injector) Crashed() bool {
 	return i.crashed
 }
 
-// step accounts one write/sync event and decides its fate. Exactly one of
-// the returns is meaningful: crashNow means this event is the power loss
-// (a write applies its torn prefix, then everything returns ErrCrashed);
-// err is a transient injected error; tear/garbage describe how the fatal
-// write tears.
-func (i *Injector) step() (crashNow bool, tearSectors int, garbage bool, gseed uint64, err error) {
+// fate is one event's decided outcome. Exactly one of crashNow / err /
+// rotBytes is meaningful: crashNow means this event is the power loss (a
+// write applies its torn prefix, then everything returns ErrCrashed); err is
+// a transient injected error; rotBytes>0 means the event succeeds and then
+// rots silently. tear/garbage describe how the fatal write tears.
+type fate struct {
+	crashNow    bool
+	tearSectors int
+	garbage     bool
+	gseed       uint64
+	rotBytes    int
+	rotSeed     uint64
+	err         error
+}
+
+// step accounts one write/sync event and decides its fate.
+func (i *Injector) step() fate {
 	i.mu.Lock()
 	defer i.mu.Unlock()
 	if i.crashed {
-		return false, 0, false, 0, ErrCrashed
+		return fate{err: ErrCrashed}
 	}
 	i.events++
 	if e, ok := i.errAt[i.events]; ok {
-		return false, 0, false, 0, e
+		return fate{err: e}
 	}
 	if i.crashAt != 0 && i.events >= i.crashAt {
 		i.crashed = true
 		// Mix the event index into the garbage seed so distinct crash
 		// points scribble distinct bytes.
-		return true, i.tearSectors, i.garbage, i.seed ^ uint64(i.events)*0x9E3779B97F4A7C15, nil
+		return fate{
+			crashNow: true, tearSectors: i.tearSectors, garbage: i.garbage,
+			gseed: i.seed ^ uint64(i.events)*0x9E3779B97F4A7C15,
+		}
 	}
-	return false, 0, false, 0, nil
+	if n, ok := i.rotAt[i.events]; ok {
+		return fate{rotBytes: n, rotSeed: i.seed ^ uint64(i.events)*0x9E3779B97F4A7C15}
+	}
+	return fate{}
 }
 
 // garbageFill overwrites p with seeded pseudo-random bytes (splitmix64).

@@ -47,17 +47,17 @@ func (s *Store) writeAt(p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, fmt.Errorf("fault: negative offset %d", off)
 	}
-	crashNow, tearSectors, garbage, gseed, err := s.inj.step()
-	if err != nil {
-		return 0, err
+	f := s.inj.step()
+	if f.err != nil {
+		return 0, f.err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return 0, fmt.Errorf("fault: store closed")
 	}
-	if crashNow {
-		s.tearLocked(p, off, tearSectors, garbage, gseed)
+	if f.crashNow {
+		s.tearLocked(p, off, f.tearSectors, f.garbage, f.gseed)
 		return 0, ErrCrashed
 	}
 	end := off + int64(len(p))
@@ -67,7 +67,37 @@ func (s *Store) writeAt(p []byte, off int64) (int, error) {
 		s.cur = grown
 	}
 	copy(s.cur[off:end], p)
+	if f.rotBytes > 0 {
+		s.rotLocked(off, int64(len(p)), f.rotBytes, f.rotSeed)
+	}
 	return len(p), nil
+}
+
+// rotLocked flips nbytes seeded pseudo-random byte positions within
+// [off, off+n) of the volatile view, mirroring each flip into the synced
+// image where it reaches — silent rot that survives both reads and reboot.
+// Flips are XORs with a nonzero byte, so a rotted extent never equals the
+// original.
+func (s *Store) rotLocked(off, n int64, nbytes int, seed uint64) {
+	if n <= 0 {
+		return
+	}
+	x := seed
+	for k := 0; k < nbytes; k++ {
+		x += 0x9E3779B97F4A7C15
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		z ^= z >> 31
+		pos := off + int64(z%uint64(n))
+		bit := byte(z>>56) | 1
+		if pos < int64(len(s.cur)) {
+			s.cur[pos] ^= bit
+		}
+		if pos < int64(len(s.synced)) {
+			s.synced[pos] ^= bit
+		}
+	}
 }
 
 // tearLocked applies the surviving prefix of the fatal write to the synced
@@ -116,27 +146,31 @@ func (s *Store) readAt(p []byte, off int64) (int, error) {
 // sync makes the volatile view durable — unless this event is the crash
 // (the sync never completed; unsynced bytes are lost) or a transient error.
 func (s *Store) sync() error {
-	crashNow, _, _, _, err := s.inj.step()
-	if err != nil {
-		return err
+	f := s.inj.step()
+	if f.err != nil {
+		return f.err
 	}
-	if crashNow {
+	if f.crashNow {
 		return ErrCrashed
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.synced = append(s.synced[:0], s.cur...)
+	if f.rotBytes > 0 {
+		// Rot on a sync event lands anywhere in the image just made durable.
+		s.rotLocked(0, int64(len(s.synced)), f.rotBytes, f.rotSeed)
+	}
 	return nil
 }
 
 // truncate resizes the volatile view (area extent growth). It counts as a
 // write event; the synced image only changes at the next sync.
 func (s *Store) truncate(size int64) error {
-	crashNow, _, _, _, err := s.inj.step()
-	if err != nil {
-		return err
+	f := s.inj.step()
+	if f.err != nil {
+		return f.err
 	}
-	if crashNow {
+	if f.crashNow {
 		return ErrCrashed
 	}
 	s.mu.Lock()

@@ -115,3 +115,70 @@ func TestRPCOverShortWriteConn(t *testing.T) {
 	// dead, so the error (already-closed) is immaterial.
 	p.Close()
 }
+
+// crcPipe builds a connected peer pair with the client side's writes going
+// through a fault.Conn.
+func crcPipe(t *testing.T, plan fault.ConnPlan) (cli, srv *rpc.Peer) {
+	t.Helper()
+	cc, sc := net.Pipe()
+	cli = rpc.NewPeer(fault.WrapConn(cc, plan))
+	srv = rpc.NewPeer(sc)
+	srv.Handle("echo", func(body []byte) ([]byte, error) { return body, nil })
+	t.Cleanup(func() { cli.Close(); srv.Close() })
+	return cli, srv
+}
+
+// TestChecksumMirroring: one side opting in upgrades the connection in both
+// directions — the receiver of a checksummed frame mirrors the setting.
+func TestChecksumMirroring(t *testing.T) {
+	cli, srv := crcPipe(t, fault.ConnPlan{})
+	cli.EnableChecksums()
+	if srv.ChecksumsEnabled() {
+		t.Fatal("server opted in before seeing a checksummed frame")
+	}
+	body := []byte("mirror me")
+	got, err := cli.CallRaw("echo", body)
+	if err != nil || string(got) != string(body) {
+		t.Fatalf("checksummed call: %q, %v", got, err)
+	}
+	if !srv.ChecksumsEnabled() {
+		t.Fatal("server did not mirror the checksum setting")
+	}
+}
+
+// TestChecksumDetectsWireFlip: a flipped payload byte in flight must kill
+// the exchange with ErrFrameChecksum — and the same flip without checksums
+// is served back as silent garbage, which is exactly why the trailer
+// exists.
+func TestChecksumDetectsWireFlip(t *testing.T) {
+	// Byte 22 (1-based) of the write stream: inside the request payload
+	// (15 header + 2 name length + 4 name, then the body).
+	const flipAt = 22
+
+	cli, srv := crcPipe(t, fault.ConnPlan{FlipByteAt: flipAt})
+	cli.EnableChecksums()
+	srvErr := make(chan error, 1)
+	srv.SetOnClose(func(err error) { srvErr <- err })
+	if _, err := cli.CallRaw("echo", []byte("precious payload")); err == nil {
+		t.Fatal("corrupted call succeeded")
+	}
+	select {
+	case err := <-srvErr:
+		if !strings.Contains(err.Error(), "checksum") {
+			t.Fatalf("server shut down with %v, want a checksum error", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("server never detected the corrupt frame")
+	}
+
+	// Control: without the trailer the flip sails through undetected.
+	cli2, _ := crcPipe(t, fault.ConnPlan{FlipByteAt: flipAt})
+	body := []byte("precious payload")
+	got, err := cli2.CallRaw("echo", body)
+	if err != nil {
+		t.Fatalf("uncorrupted-looking call failed: %v", err)
+	}
+	if string(got) == string(body) {
+		t.Fatal("flip never fired")
+	}
+}

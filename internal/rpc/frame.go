@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"bess/internal/page"
 )
 
 // Binary frame format.
@@ -16,10 +18,18 @@ import (
 //
 //	offset  size  field
 //	0       8     request id (stream id on stream frames)
-//	8       1     flags (bit0 reply, bit1 error, bit2 named method, bit3 stream)
+//	8       1     flags (bit0 reply, bit1 error, bit2 named method, bit3 stream, bit4 crc)
 //	9       2     method id (0 on replies and named-method frames)
 //	11      4     payload length N
 //	15      N     payload
+//	15+N    4     CRC-32C of the preceding 15+N bytes — only when bit4 is set
+//
+// The checksum trailer (flagCRC) is optional and per-frame: a peer that
+// enables checksums sets the bit on everything it sends, and a peer that
+// receives a checksummed frame mirrors the setting — so one side opting in
+// at handshake time upgrades the connection in both directions, while
+// loopback benches that never opt in pay nothing. N never includes the
+// trailer.
 //
 // The payload of a request is the method's encoded argument body; hot
 // methods use the hand-written codecs in internal/proto, cold methods carry
@@ -47,8 +57,9 @@ const (
 	flagError  uint8 = 1 << 1 // reply payload is an error message
 	flagNamed  uint8 = 1 << 2 // payload starts with u16 name length + name
 	flagStream uint8 = 1 << 3 // one-way stream frame: id is a stream id, no reply
+	flagCRC    uint8 = 1 << 4 // CRC-32C trailer follows the payload
 
-	flagsKnown = flagReply | flagError | flagNamed | flagStream
+	flagsKnown = flagReply | flagError | flagNamed | flagStream | flagCRC
 
 	// maxPayload bounds one frame (a commit can ship many segment images).
 	maxPayload = 1 << 30
@@ -56,6 +67,11 @@ const (
 
 // ErrBadFrame reports bytes that are not a valid frame encoding.
 var ErrBadFrame = errors.New("rpc: bad frame encoding")
+
+// ErrFrameChecksum reports a CRC-flagged frame whose trailer did not match
+// its bytes: the wire corrupted the frame in flight. The connection is
+// unframeable past this point and is shut down.
+var ErrFrameChecksum = errors.New("rpc: frame checksum mismatch")
 
 // Method ids. The table below is part of the wire protocol: ids are
 // append-only and never reassigned (the golden wire test pins them).
@@ -126,6 +142,7 @@ type frame struct {
 //
 //bess:hotpath
 func appendFrame(dst []byte, f *frame) []byte {
+	start := len(dst)
 	dst = binary.BigEndian.AppendUint64(dst, f.id)
 	dst = append(dst, f.flags)
 	dst = binary.BigEndian.AppendUint16(dst, f.method)
@@ -138,7 +155,11 @@ func appendFrame(dst []byte, f *frame) []byte {
 		dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.name)))
 		dst = append(dst, f.name...)
 	}
-	return append(dst, f.body...)
+	dst = append(dst, f.body...)
+	if f.flags&flagCRC != 0 {
+		dst = binary.BigEndian.AppendUint32(dst, page.Checksum(dst[start:]))
+	}
+	return dst
 }
 
 // parseHeader validates a fixed header and returns the partial frame plus
@@ -210,6 +231,20 @@ func readFrame(br *bufio.Reader) (frame, error) {
 		}
 		return frame{}, err
 	}
+	if f.flags&flagCRC != 0 {
+		var trailer [4]byte
+		if _, err := io.ReadFull(br, trailer[:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return frame{}, err
+		}
+		crc := page.Checksum(hdr[:])
+		crc = page.ChecksumUpdate(crc, payload)
+		if got := binary.BigEndian.Uint32(trailer[:]); got != crc {
+			return frame{}, fmt.Errorf("%w: frame id %d: crc %08x want %08x", ErrFrameChecksum, f.id, crc, got)
+		}
+	}
 	if err := f.setPayload(payload); err != nil {
 		return frame{}, err
 	}
@@ -229,13 +264,23 @@ func decodeFrame(b []byte) (frame, int, error) {
 	if err != nil {
 		return frame{}, 0, err
 	}
-	if len(b)-frameHdrLen < plen {
+	total := frameHdrLen + plen
+	if f.flags&flagCRC != 0 {
+		total += 4
+	}
+	if len(b) < total {
 		return frame{}, 0, fmt.Errorf("%w: payload length %d exceeds %d remaining bytes", ErrBadFrame, plen, len(b)-frameHdrLen)
+	}
+	if f.flags&flagCRC != 0 {
+		crc := page.Checksum(b[:frameHdrLen+plen])
+		if got := binary.BigEndian.Uint32(b[frameHdrLen+plen : total]); got != crc {
+			return frame{}, 0, fmt.Errorf("%w: frame id %d: crc %08x want %08x", ErrFrameChecksum, f.id, crc, got)
+		}
 	}
 	if err := f.setPayload(b[frameHdrLen : frameHdrLen+plen]); err != nil {
 		return frame{}, 0, err
 	}
-	return f, frameHdrLen + plen, nil
+	return f, total, nil
 }
 
 // bufPool recycles frame-encode scratch and write-coalescing buffers; the

@@ -70,6 +70,30 @@ func TestGoldenWireFormat(t *testing.T) {
 				'b', 'o', 'o', 'm',
 			},
 		},
+		{
+			name: "request/crc-trailer",
+			f:    frame{id: 5, flags: flagCRC, method: 10, body: []byte{0xAA, 0xBB}},
+			want: []byte{
+				0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x05, // id
+				0x10,       // flags: crc
+				0x00, 0x0A, // method id (FetchSlotted)
+				0x00, 0x00, 0x00, 0x02, // payload length (trailer NOT counted)
+				0xAA, 0xBB, // body
+				0x83, 0x1C, 0xFB, 0x85, // CRC-32C of the 17 preceding bytes
+			},
+		},
+		{
+			name: "reply/crc-trailer",
+			f:    frame{id: 5, flags: flagReply | flagCRC, body: []byte("okay")},
+			want: []byte{
+				0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x05,
+				0x11, // flags: reply | crc
+				0x00, 0x00,
+				0x00, 0x00, 0x00, 0x04,
+				'o', 'k', 'a', 'y',
+				0x96, 0x0C, 0x38, 0x3E,
+			},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

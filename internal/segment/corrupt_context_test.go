@@ -1,0 +1,76 @@
+package segment
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"bess/internal/page"
+)
+
+// TestChecksumErrorContext pins the error contract for corrupt images:
+// every checksum failure keeps its sentinel identity (errors.Is must keep
+// matching ErrChecksum) while carrying enough context — section, byte
+// offset, both CRCs, and after annotation the area/page identity — for an
+// operator to locate the bad sector.
+func TestChecksumErrorContext(t *testing.T) {
+	s := New(7, 1, 1, 2, 64)
+	if _, err := s.AllocSlot(KindSmall, 3, 40, 9); err != nil {
+		t.Fatal(err)
+	}
+	img := s.EncodeSlotted()
+
+	t.Run("header", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		bad[10] ^= 0x40 // inside the CRC-covered 124-byte header
+		_, err := DecodeSlotted(bad)
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("err = %v, want ErrChecksum identity", err)
+		}
+		var ce *page.CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err = %T, want *page.CorruptError", err)
+		}
+		if ce.Section != "header" || ce.Len != HeaderSize {
+			t.Fatalf("context = %+v, want header section of %d bytes", ce, HeaderSize)
+		}
+		if !strings.Contains(err.Error(), "header") {
+			t.Fatalf("message %q does not name the section", err)
+		}
+	})
+
+	t.Run("slotted-section", func(t *testing.T) {
+		bad := append([]byte(nil), img...)
+		bad[HeaderSize+3] ^= 0x01
+		_, err := DecodeSlotted(bad)
+		if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("err = %v, want ErrChecksum identity", err)
+		}
+		var ce *page.CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err = %T, want *page.CorruptError", err)
+		}
+		if ce.Section != "slotted" || ce.Off != HeaderSize {
+			t.Fatalf("context = %+v, want slotted section at offset %d", ce, HeaderSize)
+		}
+	})
+
+	t.Run("annotated-identity", func(t *testing.T) {
+		// The decoder cannot know which area the image came from; callers
+		// annotate the error. Annotation must not break errors.Is.
+		bad := append([]byte(nil), img...)
+		bad[HeaderSize] ^= 0xFF
+		_, err := DecodeSlotted(bad)
+		var ce *page.CorruptError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err = %T, want *page.CorruptError", err)
+		}
+		ce.Area, ce.Page = 3, 17
+		if !errors.Is(ce, ErrChecksum) {
+			t.Fatalf("annotated err = %v lost ErrChecksum identity", ce)
+		}
+		if !strings.Contains(ce.Error(), "3:17") {
+			t.Fatalf("message %q does not carry the area:page identity", ce)
+		}
+	})
+}

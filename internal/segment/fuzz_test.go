@@ -1,6 +1,8 @@
 package segment
 
 import (
+	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 
@@ -69,6 +71,63 @@ func FuzzSegmentHeaderParse(f *testing.F) {
 		}
 		if s.Hdr != s2.Hdr || !reflect.DeepEqual(s.Slots, s2.Slots) {
 			t.Fatalf("roundtrip mismatch:\nhdr %+v vs %+v", s.Hdr, s2.Hdr)
+		}
+	})
+}
+
+// FuzzVerifyPage is the detection property behind the whole corruption
+// story: every byte of an encoded slotted image is covered by some CRC
+// (header, stored-CRC word, or slot region), so ANY single-byte change must
+// fail DecodeSlotted — a corruption that verifies clean is a silent wrong
+// read. The same property is checked for the raw page.Verify primitive and
+// for the data-section checksum.
+func FuzzVerifyPage(f *testing.F) {
+	f.Add(uint32(0), byte(0x01))           // magic
+	f.Add(uint32(10), byte(0x40))          // header field
+	f.Add(uint32(125), byte(0xFF))         // the stored header CRC itself
+	f.Add(uint32(HeaderSize), byte(0x80))  // first slot byte
+	f.Add(uint32(page.Size-1), byte(0xA5)) // last byte of the image
+	f.Add(uint32(73), byte(0x02))          // the stored slot-region CRC
+
+	f.Fuzz(func(t *testing.T, off uint32, xor byte) {
+		if xor == 0 {
+			xor = 1 // a zero XOR is not a corruption
+		}
+		s := New(7, 1, 1, 2, 64)
+		if _, err := s.AllocSlot(KindSmall, 3, 40, 9); err != nil {
+			t.Fatal(err)
+		}
+		s.Data = bytes.Repeat([]byte{0xD7}, int(s.Hdr.DataPages)*page.Size)
+		img := s.EncodeSlotted()
+		pos := int(off) % len(img)
+		img[pos] ^= xor
+		if _, err := DecodeSlotted(img); err == nil {
+			t.Fatalf("corrupt image (byte %d ^= %#02x) decoded clean", pos, xor)
+		}
+
+		// page.Verify on an arbitrary region: clean bytes pass, any change
+		// fails with the sentinel identity intact.
+		region := bytes.Repeat([]byte{xor}, 256)
+		crc := page.Checksum(region)
+		if err := page.Verify(region, crc, "fuzz", ErrChecksum); err != nil {
+			t.Fatalf("clean region failed verification: %v", err)
+		}
+		region[pos%len(region)] ^= xor
+		if err := page.Verify(region, crc, "fuzz", ErrChecksum); err == nil {
+			t.Fatalf("corrupt region (byte %d ^= %#02x) verified clean", pos%len(region), xor)
+		} else if !errors.Is(err, ErrChecksum) {
+			t.Fatalf("verification error %v lost ErrChecksum identity", err)
+		}
+
+		// Data-section coverage: the CRC travels in the (clean) header.
+		clean, err := DecodeSlotted(s.EncodeSlotted())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := append([]byte(nil), s.Data...)
+		data[pos%len(data)] ^= xor
+		if err := clean.VerifyData(data); err == nil {
+			t.Fatalf("corrupt data section (byte %d ^= %#02x) verified clean", pos%len(data), xor)
 		}
 	})
 }

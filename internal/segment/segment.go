@@ -40,6 +40,15 @@ const (
 	segMagic = 0xBE555E61
 )
 
+// Section-checksum validity bits (Header.CRCFlags). A section's CRC field is
+// meaningful only when its bit is set; images written before checksums
+// existed carry zero flags and decode (but never verify) as before.
+const (
+	CRCSlots uint8 = 1 << 0 // SlotCRC covers the slotted image past the header
+	CRCData  uint8 = 1 << 1 // DataCRC covers the full data segment
+	CRCOver  uint8 = 1 << 2 // OverCRC covers the full overflow segment
+)
+
 // Errors returned by the segment layer.
 var (
 	ErrBadMagic    = errors.New("segment: bad magic")
@@ -115,6 +124,14 @@ type Header struct {
 	OverPages    uint32
 	OverUsed     uint32
 	FreeSlotHead int32 // head of the free-slot list, -1 if none
+
+	// Section checksums (CRC-32C), written into the reserved header bytes by
+	// EncodeSlotted and verified on decode / fault-in. CRCFlags says which
+	// fields are valid — a pre-checksum image decodes with all bits clear.
+	CRCFlags uint8
+	SlotCRC  uint32 // slotted image past the 128-byte header
+	DataCRC  uint32 // data segment bytes
+	OverCRC  uint32 // overflow segment bytes
 }
 
 // Seg is the in-memory image of an object segment: decoded header, slot
@@ -524,7 +541,21 @@ func min(a, b int) int {
 // --- Persistent encoding ---
 
 // EncodeSlotted serializes the header and slot array into SlottedPages pages.
+// Section checksums are refreshed as a side effect: the slot-region CRC is
+// always recomputed from this image, and the data/overflow CRCs are
+// recomputed when the section bytes are attached at their full on-disk size
+// (carried forward from the last decode otherwise, so a commit that ships no
+// data bytes keeps the data segment verifiable).
 func (s *Seg) EncodeSlotted() []byte {
+	if len(s.Data) == int(s.Hdr.DataPages)*page.Size {
+		s.Hdr.DataCRC = page.Checksum(s.Data)
+		s.Hdr.CRCFlags |= CRCData
+	}
+	if len(s.Overflow) == int(s.Hdr.OverPages)*page.Size {
+		s.Hdr.OverCRC = page.Checksum(s.Overflow)
+		s.Hdr.CRCFlags |= CRCOver
+	}
+	s.Hdr.CRCFlags |= CRCSlots
 	buf := make([]byte, int(s.Hdr.SlottedPages)*page.Size)
 	h := s.Hdr
 	binary.BigEndian.PutUint32(buf[0:4], segMagic)
@@ -542,11 +573,19 @@ func (s *Seg) EncodeSlotted() []byte {
 	binary.BigEndian.PutUint32(buf[56:60], h.OverPages)
 	binary.BigEndian.PutUint32(buf[60:64], h.OverUsed)
 	binary.BigEndian.PutUint32(buf[64:68], uint32(h.FreeSlotHead))
-	// buf[68:124] reserved.
+	// buf[68:88] section checksums; buf[88:124] reserved.
+	buf[68] = h.CRCFlags
+	binary.BigEndian.PutUint32(buf[76:80], h.DataCRC)
+	binary.BigEndian.PutUint32(buf[80:84], h.OverCRC)
 	for i := range s.Slots {
 		p, off := SlotPos(i)
 		encodeSlot(buf[p*page.Size+off:], &s.Slots[i])
 	}
+	// The slot-region CRC goes in last: it covers every slotted byte past
+	// the header, so with the header's own checksum below the whole slotted
+	// image is protected.
+	s.Hdr.SlotCRC = page.Checksum(buf[HeaderSize:])
+	binary.BigEndian.PutUint32(buf[72:76], s.Hdr.SlotCRC)
 	// Header checksum over the first page minus the checksum field.
 	binary.BigEndian.PutUint32(buf[124:128], page.Checksum(buf[0:124]))
 	return buf
@@ -560,8 +599,11 @@ func DecodeSlotted(buf []byte) (*Seg, error) {
 	if binary.BigEndian.Uint32(buf[0:4]) != segMagic {
 		return nil, ErrBadMagic
 	}
-	if binary.BigEndian.Uint32(buf[124:128]) != page.Checksum(buf[0:124]) {
-		return nil, ErrChecksum
+	if want, got := binary.BigEndian.Uint32(buf[124:128]), page.Checksum(buf[0:124]); want != got {
+		return nil, &page.CorruptError{
+			Section: "header", Off: 0, Len: HeaderSize,
+			Want: want, Got: got, Err: ErrChecksum,
+		}
 	}
 	var h Header
 	h.FileID = binary.BigEndian.Uint32(buf[4:8])
@@ -578,11 +620,23 @@ func DecodeSlotted(buf []byte) (*Seg, error) {
 	h.OverPages = binary.BigEndian.Uint32(buf[56:60])
 	h.OverUsed = binary.BigEndian.Uint32(buf[60:64])
 	h.FreeSlotHead = int32(binary.BigEndian.Uint32(buf[64:68]))
+	h.CRCFlags = buf[68]
+	h.SlotCRC = binary.BigEndian.Uint32(buf[72:76])
+	h.DataCRC = binary.BigEndian.Uint32(buf[76:80])
+	h.OverCRC = binary.BigEndian.Uint32(buf[80:84])
 	if int(h.SlottedPages)*page.Size != len(buf) {
 		return nil, fmt.Errorf("segment: slotted image is %d bytes, header says %d pages", len(buf), h.SlottedPages)
 	}
 	if int(h.NSlots) != SlotCapacity(int(h.SlottedPages)) {
 		return nil, fmt.Errorf("segment: slot count %d inconsistent with %d pages", h.NSlots, h.SlottedPages)
+	}
+	if h.CRCFlags&CRCSlots != 0 {
+		// The decoder does not know which area the image came from; callers
+		// with that identity annotate the CorruptError they get back.
+		if err := page.Verify(buf[HeaderSize:], h.SlotCRC, "slotted", ErrChecksum); err != nil {
+			err.(*page.CorruptError).Off = HeaderSize
+			return nil, err
+		}
 	}
 	s := &Seg{Hdr: h, Slots: make([]Slot, h.NSlots)}
 	for i := range s.Slots {
@@ -608,4 +662,48 @@ func decodeSlot(b []byte, sl *Slot) {
 	sl.Type = TypeID(binary.BigEndian.Uint32(b[4:8]))
 	sl.Size = binary.BigEndian.Uint32(b[8:12])
 	sl.DataOff = binary.BigEndian.Uint64(b[12:20])
+}
+
+// VerifyData checks data (the full data-segment bytes) against the header's
+// recorded section checksum. Images written before checksums existed have no
+// recorded CRC and verify vacuously.
+func (s *Seg) VerifyData(data []byte) error {
+	if s.Hdr.CRCFlags&CRCData == 0 {
+		return nil
+	}
+	if err := page.Verify(data, s.Hdr.DataCRC, "data", ErrChecksum); err != nil {
+		ce := err.(*page.CorruptError)
+		ce.Area, ce.Page = s.Hdr.DataArea, s.Hdr.DataStart
+		return err
+	}
+	return nil
+}
+
+// VerifyOverflow checks ov (the full overflow-segment bytes) against the
+// header's recorded section checksum.
+func (s *Seg) VerifyOverflow(ov []byte) error {
+	if s.Hdr.CRCFlags&CRCOver == 0 {
+		return nil
+	}
+	if err := page.Verify(ov, s.Hdr.OverCRC, "overflow", ErrChecksum); err != nil {
+		ce := err.(*page.CorruptError)
+		ce.Area, ce.Page = s.Hdr.OverArea, s.Hdr.OverStart
+		return err
+	}
+	return nil
+}
+
+// VerifySections checks the attached Data and Overflow byte slices; the
+// slotted section was already verified by DecodeSlotted. Sections not
+// attached at their full on-disk size are skipped (nothing to check yet).
+func (s *Seg) VerifySections() error {
+	if len(s.Data) == int(s.Hdr.DataPages)*page.Size {
+		if err := s.VerifyData(s.Data); err != nil {
+			return err
+		}
+	}
+	if len(s.Overflow) == int(s.Hdr.OverPages)*page.Size {
+		return s.VerifyOverflow(s.Overflow)
+	}
+	return nil
 }

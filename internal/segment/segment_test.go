@@ -2,6 +2,7 @@ package segment
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -329,7 +330,7 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	s := newTestSeg()
 	img := s.EncodeSlotted()
 	img[4] ^= 0xFF // flip a header byte
-	if _, err := DecodeSlotted(img); err != ErrChecksum {
+	if _, err := DecodeSlotted(img); !errors.Is(err, ErrChecksum) {
 		t.Fatalf("corrupt header: %v", err)
 	}
 	img[4] ^= 0xFF

@@ -301,5 +301,25 @@ func (c *catalog) areaIDs() []uint32 {
 	return out
 }
 
+// allSegMetas snapshots every cataloged segment across databases, in a
+// stable (area, start) order — the scrub walker's work list.
+func (c *catalog) allSegMetas() []*segMeta {
+	c.mu.Lock()
+	var out []*segMeta
+	for _, m := range c.ByID {
+		for _, sm := range m.Segments {
+			out = append(out, sm)
+		}
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seg.Area != out[j].Seg.Area {
+			return out[i].Seg.Area < out[j].Seg.Area
+		}
+		return out[i].Seg.Start < out[j].Seg.Start
+	})
+	return out
+}
+
 // catalogPath computes the catalog file path for a server directory.
 func catalogPath(dir string) string { return filepath.Join(dir, "catalog.gob") }

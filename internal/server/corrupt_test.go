@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"bess/internal/page"
+	"bess/internal/proto"
+	"bess/internal/segment"
+)
+
+// flipPageByte XORs one byte of an on-disk page, bypassing the WAL — the
+// silent bit rot the detect/repair pipeline exists for.
+func flipPageByte(t *testing.T, s *Server, areaID uint32, pno page.No, off int) {
+	t.Helper()
+	a := s.lookupArea(areaID)
+	if a == nil {
+		t.Fatalf("no area %d", areaID)
+	}
+	buf := make([]byte, page.Size)
+	if err := a.ReadPage(pno, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[off] ^= 0x5A
+	if err := a.WritePage(pno, buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// commitOne creates a segment with one object and commits it, so every
+// section has logged full-page history.
+func commitOne(t *testing.T, s *Server, db uint32, body []byte) proto.SegKey {
+	t.Helper()
+	key, img := mkSegImage(t, s, db, body)
+	cl, _ := s.Hello("c")
+	txid, _ := s.NewTx()
+	if err := s.Lock(cl, txid, key, proto.LockX); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(cl, txid, []proto.SegImage{img}); err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+func fetchObject(t *testing.T, s *Server, key proto.SegKey) ([]byte, error) {
+	t.Helper()
+	sl, ov, data, err := s.FetchSeg(0, key)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := segment.DecodeSlotted(sl)
+	if err != nil {
+		return nil, err
+	}
+	dec.Overflow, dec.Data = ov, data
+	return dec.ObjectBytes(0)
+}
+
+func TestRepairSlottedPageFromWAL(t *testing.T) {
+	s := NewMem(1)
+	defer s.Close()
+	db, _, _ := s.OpenDB("d", true)
+	key := commitOne(t, s, db, []byte("survives rot"))
+	flipPageByte(t, s, key.Area, page.No(key.Start), segment.HeaderSize+3)
+	b, err := fetchObject(t, s, key)
+	if err != nil {
+		t.Fatalf("fetch after rot: %v", err)
+	}
+	if !bytes.Equal(b, []byte("survives rot")) {
+		t.Fatalf("repaired object = %q", b)
+	}
+	st := s.ScrubStatus()
+	if st.CorruptionsFound == 0 || st.Repaired == 0 || st.Quarantined != 0 {
+		t.Fatalf("counters = %+v", st)
+	}
+}
+
+func TestRepairDataSectionFromWAL(t *testing.T) {
+	s := NewMem(1)
+	defer s.Close()
+	db, _, _ := s.OpenDB("d", true)
+	key := commitOne(t, s, db, []byte("data section payload"))
+	sl, _, err := s.FetchSlotted(0, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := segment.DecodeSlotted(sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipPageByte(t, s, uint32(dec.Hdr.DataArea), dec.Hdr.DataStart, 7)
+	b, err := fetchObject(t, s, key)
+	if err != nil {
+		t.Fatalf("fetch after data rot: %v", err)
+	}
+	if !bytes.Equal(b, []byte("data section payload")) {
+		t.Fatalf("repaired object = %q", b)
+	}
+	if st := s.ScrubStatus(); st.Repaired == 0 {
+		t.Fatalf("counters = %+v", st)
+	}
+}
+
+func TestQuarantineUnrepairableSegment(t *testing.T) {
+	s := NewMem(1)
+	defer s.Close()
+	db, _, _ := s.OpenDB("d", true)
+	// Never committed: the initial slotted image has no logged history.
+	doomed, err := s.CreateSegment(db, 1, 1, 1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := commitOne(t, s, db, []byte("healthy"))
+	flipPageByte(t, s, doomed.Area, page.No(doomed.Start), 40)
+	if _, _, err := s.FetchSlotted(0, doomed); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("want ErrQuarantined, got %v", err)
+	}
+	// Quarantine is sticky and typed on the fast path too.
+	if _, _, err := s.FetchSlotted(0, doomed); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("second fetch: %v", err)
+	}
+	if q := s.Quarantined(); len(q) != 1 {
+		t.Fatalf("quarantined = %v", q)
+	}
+	// The server keeps serving other segments.
+	if b, err := fetchObject(t, s, healthy); err != nil || !bytes.Equal(b, []byte("healthy")) {
+		t.Fatalf("healthy segment: %q, %v", b, err)
+	}
+	if st := s.ScrubStatus(); st.Quarantined != 1 {
+		t.Fatalf("counters = %+v", st)
+	}
+}
+
+func TestScrubOnceRepairs(t *testing.T) {
+	s := NewMem(1)
+	defer s.Close()
+	db, _, _ := s.OpenDB("d", true)
+	key := commitOne(t, s, db, []byte("scrub me"))
+	sl, _, _ := s.FetchSlotted(0, key)
+	dec, _ := segment.DecodeSlotted(sl)
+	flipPageByte(t, s, uint32(dec.Hdr.DataArea), dec.Hdr.DataStart, 100)
+	st, err := s.ScrubOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.SegmentsChecked == 0 || st.PagesVerified == 0 || st.CorruptionsFound == 0 || st.Repaired == 0 {
+		t.Fatalf("counters = %+v", st)
+	}
+	if b, err := fetchObject(t, s, key); err != nil || !bytes.Equal(b, []byte("scrub me")) {
+		t.Fatalf("after scrub: %q, %v", b, err)
+	}
+}
+
+func TestBackgroundScrubberRepairs(t *testing.T) {
+	s := NewMem(1)
+	db, _, _ := s.OpenDB("d", true)
+	key := commitOne(t, s, db, []byte("background"))
+	sl, _, _ := s.FetchSlotted(0, key)
+	dec, _ := segment.DecodeSlotted(sl)
+	flipPageByte(t, s, uint32(dec.Hdr.DataArea), dec.Hdr.DataStart, 11)
+	s.StartScrub(time.Millisecond, 0)
+	s.StartScrub(time.Millisecond, 0) // idempotent while running
+	deadline := time.Now().Add(5 * time.Second)
+	for s.ScrubStatus().Repaired == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("scrubber never repaired: %+v", s.ScrubStatus())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.PauseScrub(true)
+	s.PauseScrub(false)
+	s.StopScrub()
+	if err := s.Close(); err != nil { // Close after StopScrub is clean
+		t.Fatal(err)
+	}
+}
+
+func TestLargeObjectChecksumRepair(t *testing.T) {
+	s := NewMem(1)
+	defer s.Close()
+	db, _, _ := s.OpenDB("d", true)
+	key, img := mkSegImage(t, s, db, []byte("small"))
+	cl, _ := s.Hello("c")
+	txid, _ := s.NewTx()
+	if err := s.Lock(cl, txid, key, proto.LockX); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(cl, txid, []proto.SegImage{img}); err != nil {
+		t.Fatal(err)
+	}
+	big := bytes.Repeat([]byte("large-object-content."), 300) // > 1 page
+	tx2, _ := s.NewTx()
+	slot, err := s.CreateLarge(cl, tx2, key, 7, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(cl, tx2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Find the run and rot one of its pages.
+	sl, ov, err := s.FetchSlotted(0, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := segment.DecodeSlotted(sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Overflow = ov
+	d, err := dec.Descriptor(slot, largeDescSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	areaID, start, _, _, _ := decodeLargeDesc(d)
+	flipPageByte(t, s, areaID, page.No(start)+1, 9)
+	got, err := s.FetchLarge(0, key, slot)
+	if err != nil {
+		t.Fatalf("fetch large after rot: %v", err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatalf("large object mismatch after repair (%d bytes)", len(got))
+	}
+	if st := s.ScrubStatus(); st.Repaired == 0 {
+		t.Fatalf("counters = %+v", st)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -111,6 +112,28 @@ type Server struct {
 
 	closed atomic.Bool
 
+	// Silent-corruption state (corrupt.go). These are plain (unranked)
+	// mutexes: none is ever held while taking a ranked server lock.
+	quarMu        sync.Mutex
+	quarantined   map[proto.SegKey]string // guarded by quarMu
+	repairMu      sync.Mutex              // serializes WAL-replay repairs
+	scrubMu       sync.Mutex
+	scrubStarted  bool          // guarded by scrubMu
+	scrubStop     chan struct{} // created at open; closed once by StopScrub
+	scrubDone     chan struct{} // closed by the scrubber goroutine on exit
+	scrubStopOnce sync.Once
+	scrubPaused   atomic.Bool
+	scrubEvery    time.Duration // set before the scrubber starts
+	scrubPace     time.Duration // set before the scrubber starts
+	scrubCtr      struct {
+		segsChecked, pagesVerified, corruptions, repaired, quarantined atomic.Int64
+	}
+
+	// media, when non-nil, supplies the durable devices instead of dir
+	// (OpenMedia: fault-injection harnesses run the full stack over
+	// simulated stores).
+	media *Media
+
 	cat   *catalog
 	log   *wal.Log
 	locks *lock.Manager
@@ -149,6 +172,40 @@ func Open(dir string, host uint16) (*Server, error) {
 	return open(dir, host)
 }
 
+// Media supplies the durable devices for OpenMedia: a WAL backing plus a
+// factory invoked for each storage area the server attaches. It lets fault
+// harnesses (experiment E19) run the full server stack — commit, WAL,
+// checksums, repair — over simulated media with injected corruption. The
+// catalog stays in memory: a Media server's metadata does not survive it.
+type Media struct {
+	Log     wal.Backing
+	NewArea func(id uint32) (area.Store, error)
+}
+
+// OpenMedia creates a server over the given devices (see Media).
+func OpenMedia(m Media, host uint16) (*Server, error) {
+	s, err := open("", host)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(m.Log)
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	s.media = &m
+	// Rebind the managers to the real log (open("") wired a throwaway
+	// in-memory one), and the version store to the new tx manager.
+	s.txm = tx.NewManager(s.log, s.locks, s, s.hk)
+	s.vs = cache.NewVersionStore(s.txm.OldestSnapshot)
+	s.txm.SetCommitHook(s.vs.CommitTx)
+	s.txm.SetAbortHook(s.vs.AbortTx)
+	if nl := s.log.NextLSN(); nl > 0 {
+		s.txm.SeedCommitStamp(nl - 1)
+	}
+	return s, nil
+}
+
 func open(dir string, host uint16) (*Server, error) {
 	s := &Server{
 		host:            host,
@@ -164,6 +221,8 @@ func open(dir string, host uint16) (*Server, error) {
 	s.clientMu.Init("Server.clientMu", rankClientMu)
 	s.copyMu.Init("Server.copyMu", rankCopyMu)
 	s.txs.init()
+	s.scrubStop = make(chan struct{})
+	s.scrubDone = make(chan struct{})
 	s.locks.DefaultTimeout = 5 * time.Second
 	var err error
 	if dir == "" {
@@ -389,7 +448,12 @@ func (s *Server) AddArea(db uint32) (uint32, error) {
 		return 0, err
 	}
 	var a *area.Area
-	if s.dir == "" {
+	if s.media != nil {
+		var st area.Store
+		if st, err = s.media.NewArea(aid); err == nil {
+			a, err = area.Create(st, page.AreaID(aid), 1, true)
+		}
+	} else if s.dir == "" {
 		a, err = area.NewMem(page.AreaID(aid), 1, true)
 	} else {
 		a, err = area.CreateFile(s.areaPath(aid), page.AreaID(aid), 1)
@@ -491,6 +555,9 @@ func (s *Server) CreateSegment(db uint32, fileID uint32, slottedPages, dataPages
 		return proto.SegKey{}, err
 	}
 	seg := segment.New(fileID, slottedPages, dtGranted, page.AreaID(aid), dtStart)
+	// Attach the zeroed data section so the initial encode records its
+	// checksum: the segment is verifiable from its very first read.
+	seg.Data = make([]byte, dtGranted*page.Size)
 	img := seg.EncodeSlotted()
 	for i := 0; i < slottedPages; i++ {
 		if err := a.WritePage(slStart+page.No(i), img[i*page.Size:(i+1)*page.Size]); err != nil {
@@ -520,12 +587,25 @@ func (s *Server) SegInfo(seg proto.SegKey) (int, error) {
 	return sm.SlottedPages, nil
 }
 
-// readSeg loads and decodes a segment's slotted image plus overflow.
+// readSeg loads, decodes, and checksum-verifies a segment's slotted image
+// plus overflow. Corruption is repaired from WAL history in place, or the
+// segment is quarantined (corrupt.go).
 func (s *Server) readSeg(seg proto.SegKey) (*segment.Seg, []byte, []byte, error) {
 	sm, _, ok := s.cat.segMetaOf(seg)
 	if !ok {
 		return nil, nil, nil, ErrNoSegment
 	}
+	return s.readSegVerified(seg, sm)
+}
+
+// readSegOnce is the raw one-attempt read under readSegVerified: the
+// slotted image is verified by DecodeSlotted (header + slot-region CRCs),
+// the overflow bytes against the header's recorded section checksum. On
+// corruption the decoded header (when available) rides along so the caller
+// can locate the damaged range.
+//
+//bess:verified
+func (s *Server) readSegOnce(seg proto.SegKey, sm *segMeta) (*segment.Seg, []byte, []byte, error) {
 	a := s.lookupArea(seg.Area)
 	if a == nil {
 		return nil, nil, nil, ErrNoArea
@@ -538,6 +618,10 @@ func (s *Server) readSeg(seg proto.SegKey) (*segment.Seg, []byte, []byte, error)
 	}
 	dec, err := segment.DecodeSlotted(img)
 	if err != nil {
+		var ce *page.CorruptError
+		if errors.As(err, &ce) {
+			ce.Area, ce.Page = page.AreaID(seg.Area), page.No(seg.Start)
+		}
 		return nil, nil, nil, err
 	}
 	var over []byte
@@ -551,6 +635,9 @@ func (s *Server) readSeg(seg proto.SegKey) (*segment.Seg, []byte, []byte, error)
 			if err := oa.ReadPage(dec.Hdr.OverStart+page.No(i), over[i*page.Size:(i+1)*page.Size]); err != nil {
 				return nil, nil, nil, err
 			}
+		}
+		if err := dec.VerifyOverflow(over); err != nil {
+			return dec, nil, nil, err
 		}
 		dec.Overflow = over
 	}
@@ -609,7 +696,7 @@ func (s *Server) FetchData(client uint32, seg proto.SegKey) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.readData(dec)
+	return s.readDataVerified(seg, dec)
 }
 
 // FetchSeg implements proto.Conn: the combined cold-touch fetch. One message
@@ -625,7 +712,7 @@ func (s *Server) FetchSeg(client uint32, seg proto.SegKey) ([]byte, []byte, []by
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	data, err := s.readData(dec)
+	data, err := s.readDataVerified(seg, dec)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -650,16 +737,10 @@ func (s *Server) FetchLarge(client uint32, seg proto.SegKey, slot int) ([]byte, 
 	if err != nil {
 		return nil, err
 	}
-	areaID, start, pages, stored := decodeLargeDesc(d)
-	a := s.lookupArea(areaID)
-	if a == nil {
-		return nil, ErrNoArea
-	}
-	buf := make([]byte, pages*page.Size)
-	for i := 0; i < pages; i++ {
-		if err := a.ReadPage(page.No(start)+page.No(i), buf[i*page.Size:(i+1)*page.Size]); err != nil {
-			return nil, err
-		}
+	areaID, start, pages, stored, crc := decodeLargeDesc(d)
+	buf, err := s.readLargeVerified(seg, areaID, start, pages, stored, crc)
+	if err != nil {
+		return nil, err
 	}
 	content := buf[:stored]
 	// Decompression and similar user transforms run here (§2.4); they must
@@ -863,7 +944,7 @@ func (s *Server) applyOne(t *tx.Tx, si proto.SegImage) error {
 	capture := s.txm.SnapshotCount() > 0
 	var curData []byte
 	if capture {
-		if curData, err = s.readData(cur); err != nil {
+		if curData, err = s.readDataVerified(si.Seg, cur); err != nil {
 			return err
 		}
 	}
@@ -916,6 +997,38 @@ func (s *Server) applyOne(t *tx.Tx, si proto.SegImage) error {
 		newSeg.Hdr.OverArea = cur.Hdr.OverArea
 		newSeg.Hdr.OverStart = cur.Hdr.OverStart
 		newSeg.Hdr.OverPages = cur.Hdr.OverPages
+	}
+	// The server is authoritative for section checksums: a client-encoded
+	// header may carry CRCs that predate server-side relocation padding, or
+	// cover a cached data section this commit does not ship. Recompute over
+	// the bytes that will actually land on disk; carry the current
+	// (verified) CRC forward when the section is untouched.
+	if len(si.Data) > 0 {
+		if n := int(newSeg.Hdr.DataPages) * page.Size; len(si.Data) >= n {
+			newSeg.Hdr.DataCRC = page.Checksum(si.Data[:n])
+			newSeg.Hdr.CRCFlags |= segment.CRCData
+		} else {
+			newSeg.Hdr.CRCFlags &^= segment.CRCData // partial ship: unverifiable
+		}
+	} else if cur.Hdr.CRCFlags&segment.CRCData != 0 {
+		newSeg.Hdr.DataCRC = cur.Hdr.DataCRC
+		newSeg.Hdr.CRCFlags |= segment.CRCData
+	} else {
+		newSeg.Hdr.CRCFlags &^= segment.CRCData
+	}
+	if len(si.Overflow) > 0 && newSeg.Hdr.OverPages > 0 {
+		if n := int(newSeg.Hdr.OverPages) * page.Size; len(si.Overflow) >= n {
+			newSeg.Hdr.OverCRC = page.Checksum(si.Overflow[:n])
+			newSeg.Hdr.CRCFlags |= segment.CRCOver
+		} else {
+			newSeg.Hdr.CRCFlags &^= segment.CRCOver
+		}
+	} else if cur.Hdr.OverPages > 0 && newSeg.Hdr.OverStart == cur.Hdr.OverStart &&
+		cur.Hdr.CRCFlags&segment.CRCOver != 0 {
+		newSeg.Hdr.OverCRC = cur.Hdr.OverCRC
+		newSeg.Hdr.CRCFlags |= segment.CRCOver
+	} else {
+		newSeg.Hdr.CRCFlags &^= segment.CRCOver
 	}
 	// Re-encode with the final geometry and write everything with logging.
 	img := newSeg.EncodeSlotted()
@@ -1080,12 +1193,14 @@ func (s *Server) forgetTx(txid uint64) {
 // --- large objects ---
 
 // largeDescSize is the byte size of a transparent large object descriptor:
-// (area, start, pages, stored bytes). The stored byte count may differ from
-// the slot's logical object size when flush-side hooks (compression)
-// transformed the content.
-const largeDescSize = 20
+// (area, start, pages, stored bytes, content CRC-32C). The stored byte
+// count may differ from the slot's logical object size when flush-side
+// hooks (compression) transformed the content; the checksum covers exactly
+// the stored bytes, so FetchLarge verifies the run end to end before any
+// fetch-side hook runs.
+const largeDescSize = 24
 
-func encodeLargeDesc(areaID uint32, start page.No, pages, stored int) []byte {
+func encodeLargeDesc(areaID uint32, start page.No, pages, stored int, crc uint32) []byte {
 	d := make([]byte, largeDescSize)
 	d[0] = byte(areaID >> 24)
 	d[1] = byte(areaID >> 16)
@@ -1105,10 +1220,14 @@ func encodeLargeDesc(areaID uint32, start page.No, pages, stored int) []byte {
 	d[17] = byte(s >> 16)
 	d[18] = byte(s >> 8)
 	d[19] = byte(s)
+	d[20] = byte(crc >> 24)
+	d[21] = byte(crc >> 16)
+	d[22] = byte(crc >> 8)
+	d[23] = byte(crc)
 	return d
 }
 
-func decodeLargeDesc(d []byte) (areaID uint32, start int64, pages, stored int) {
+func decodeLargeDesc(d []byte) (areaID uint32, start int64, pages, stored int, crc uint32) {
 	areaID = uint32(d[0])<<24 | uint32(d[1])<<16 | uint32(d[2])<<8 | uint32(d[3])
 	var v uint64
 	for i := 0; i < 8; i++ {
@@ -1117,6 +1236,7 @@ func decodeLargeDesc(d []byte) (areaID uint32, start int64, pages, stored int) {
 	start = int64(v)
 	pages = int(uint32(d[12])<<24 | uint32(d[13])<<16 | uint32(d[14])<<8 | uint32(d[15]))
 	stored = int(uint32(d[16])<<24 | uint32(d[17])<<16 | uint32(d[18])<<8 | uint32(d[19]))
+	crc = uint32(d[20])<<24 | uint32(d[21])<<16 | uint32(d[22])<<8 | uint32(d[23])
 	return
 }
 
@@ -1152,7 +1272,7 @@ func (s *Server) CreateLarge(client uint32, txid uint64, seg proto.SegKey, typ u
 	capture := s.txm.SnapshotCount() > 0
 	var curData []byte
 	if capture {
-		if curData, err = s.readData(dec); err != nil {
+		if curData, err = s.readDataVerified(seg, dec); err != nil {
 			return 0, err
 		}
 	}
@@ -1187,7 +1307,8 @@ func (s *Server) CreateLarge(client uint32, txid uint64, seg proto.SegKey, typ u
 		dec.Hdr.OverStart = oStart
 		dec.Hdr.OverPages = uint32(oGranted)
 	}
-	slot, err := dec.CreateDescriptor(segment.KindLarge, segment.TypeID(typ), uint32(logicalSize), encodeLargeDesc(aid, start, granted, len(content)))
+	slot, err := dec.CreateDescriptor(segment.KindLarge, segment.TypeID(typ), uint32(logicalSize),
+		encodeLargeDesc(aid, start, granted, len(content), page.Checksum(content)))
 	if err != nil {
 		return 0, err
 	}
@@ -1387,6 +1508,7 @@ func (s *Server) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
+	s.StopScrub()
 	s.vs.Close()
 	s.areaMu.RLock()
 	areas := make([]*area.Area, 0, len(s.areas))

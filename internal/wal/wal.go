@@ -581,9 +581,66 @@ func (l *Log) readAt(lsn page.LSN) (*Record, page.LSN, error) {
 	}
 	rec, err := decodeRecord(body)
 	if err != nil {
-		return nil, lsn, err
+		return nil, lsn, fmt.Errorf("wal: record at lsn %d: %w", lsn, err)
 	}
 	return rec, lsn + page.LSN(recHeaderSize+len(body)), nil
+}
+
+// VerifyStats summarizes one Verify walk.
+type VerifyStats struct {
+	Records int   // records that re-verified clean
+	Bytes   int64 // durable bytes covered
+}
+
+// Verify re-checks the CRC of every record below the durable frontier, where
+// a failure can only be bit rot (the bytes were once synced and valid), and
+// then probes past the frontier: a broken record followed by a decodable one
+// is mid-log corruption — readAt alone would silently treat it as a torn
+// tail and truncate history. Corruption is reported as a *page.CorruptError
+// wrapping ErrCorrupt with the record's LSN as the byte offset.
+//
+// A rotted record whose length prefix was also destroyed is indistinguishable
+// from a torn tail in a length-prefixed log; the probe covers the common
+// single-record rot, and the frontier walk covers everything a live server
+// has flushed.
+func (l *Log) Verify() (VerifyStats, error) {
+	l.mu.Lock()
+	end := l.flushed
+	l.mu.Unlock()
+	var st VerifyStats
+	lsn := firstLSN
+	for lsn < end {
+		rec, next, err := l.readAt(lsn)
+		if err != nil {
+			return st, err
+		}
+		if rec == nil {
+			return st, &page.CorruptError{
+				Section: "wal", Off: int64(lsn), Len: recHeaderSize, Err: ErrCorrupt,
+			}
+		}
+		st.Records++
+		lsn = next
+	}
+	st.Bytes = int64(end)
+	// Past the frontier (a reopened log stops its scan at the first invalid
+	// record): if the stored length leads to a record that checks out, the
+	// break is rot in the middle of history, not a tail lost to a crash.
+	if rec, _, _ := l.readAt(end); rec == nil {
+		hdr := make([]byte, recHeaderSize)
+		if _, err := l.back.ReadAt(hdr, int64(end)); err == nil {
+			n := binary.BigEndian.Uint32(hdr[0:4])
+			if n > 0 && n <= 1<<26 {
+				probe := end + page.LSN(recHeaderSize) + page.LSN(n)
+				if rec2, _, _ := l.readAt(probe); rec2 != nil {
+					return st, &page.CorruptError{
+						Section: "wal", Off: int64(end), Len: int(recHeaderSize + n), Err: ErrCorrupt,
+					}
+				}
+			}
+		}
+	}
+	return st, nil
 }
 
 // Iterate calls fn for every durable record with LSN >= from (use firstLSN
@@ -619,7 +676,9 @@ func (l *Log) ReadRecord(lsn page.LSN) (*Record, error) {
 		return nil, err
 	}
 	if rec == nil {
-		return nil, ErrCorrupt
+		// Keep the sentinel identity (errors.Is) while telling the operator
+		// which byte offset of the log file failed its checksum.
+		return nil, fmt.Errorf("wal: no valid record at byte offset %d: %w", lsn, ErrCorrupt)
 	}
 	return rec, nil
 }
